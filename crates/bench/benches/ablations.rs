@@ -1,0 +1,103 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - slow-start depth vs pollution exposure;
+//! - IM reporter quorum vs pollution-survival probability;
+//! - peer-matching scope vs offload/leak trade-off;
+//! - token TTL vs replay window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdn_core::pollution::PollutionMode;
+use pdn_provider::{MatchingPolicy, ProviderProfile};
+
+/// Slow-start depth K: pollution can only touch segments past K, so deeper
+/// slow starts shrink the attack surface at higher CDN cost.
+fn ablation_slowstart(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_slowstart");
+    g.sample_size(10);
+    for k in [1u64, 3, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut profile = ProviderProfile::peer5();
+                profile.slow_start_segments = k;
+                pdn_core::pollution::run_pollution(&profile, PollutionMode::FromSeq(k), 1, 7)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// IM reporter quorum k: pollution survives only if all k reporters are
+/// malicious (analytic), while server conflict-resolution cost scales with
+/// the number of distinct segments attacked (measured).
+fn ablation_im_reporters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_im_reporters");
+    g.sample_size(10);
+    for attackers in [5usize, 20] {
+        g.bench_with_input(
+            BenchmarkId::new("fake_im_flood", attackers),
+            &attackers,
+            |b, &n| b.iter(|| pdn_core::defense::integrity::fake_im_flood(n, 8)),
+        );
+    }
+    g.finish();
+}
+
+/// Matching scope: global matching maximizes leak; country/ISP matching
+/// trades neighbor availability for privacy.
+fn ablation_peer_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_peer_matching");
+    g.sample_size(10);
+    for (label, policy) in [
+        ("global", MatchingPolicy::Global),
+        ("country", MatchingPolicy::SameCountry),
+        ("isp", MatchingPolicy::SameIsp),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &p| {
+            b.iter(|| {
+                pdn_core::ip_leak::run_wild(
+                    &pdn_core::ip_leak::rt_news_population(),
+                    p,
+                    "US",
+                    1.0,
+                    9,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Token TTL: shorter TTLs shrink the replay window; the bench measures
+/// validator throughput across TTL settings (the check is O(1) either
+/// way — the ablation documents that the *security* knob is free).
+fn ablation_token_ttl(c: &mut Criterion) {
+    use pdn_media::VideoId;
+    use pdn_provider::auth::{unix_time, PdnToken, TokenValidator};
+    use pdn_simnet::SimTime;
+    let mut g = c.benchmark_group("ablation_token_ttl");
+    g.sample_size(20);
+    for ttl in [10u64, 60, 3600] {
+        g.bench_with_input(BenchmarkId::from_parameter(ttl), &ttl, |b, &ttl| {
+            let token = PdnToken {
+                customer_id: "xx.yy".into(),
+                pdn_peer_id: "1".into(),
+                video_ids: vec!["https://xx.yy/zz.m3u8".into()],
+                timestamp: unix_time(SimTime::ZERO),
+                ttl,
+                usage_limit: u32::MAX,
+            };
+            let jwt = token.sign(b"k");
+            let video = VideoId::new("https://xx.yy/zz.m3u8");
+            let mut validator = TokenValidator::new(b"k".to_vec());
+            b.iter(|| validator.validate(&jwt, &video, SimTime::from_secs(1)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_slowstart, ablation_im_reporters, ablation_peer_matching, ablation_token_ttl
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Benchmarks of the §IV attack experiments: free riding (Table V rows 1–2
+//! and the billing amplification), content pollution (rows 3–4), the IP
+//! leak harvest, and the Figure 4/5 resource experiments.
+//!
+//! Each iteration runs a complete simulated experiment, so these double as
+//! regression checks on experiment wall-time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdn_core::pollution::PollutionMode;
+use pdn_provider::{MatchingPolicy, ProviderProfile};
+use std::hint::black_box;
+
+fn bench_freeriding(c: &mut Criterion) {
+    let profile = ProviderProfile::peer5();
+    c.bench_function("freeriding/cross_domain_attack", |b| {
+        b.iter(|| {
+            pdn_core::freeriding::cross_domain_attack(black_box(&profile), false, 1)
+        })
+    });
+    c.bench_function("freeriding/domain_spoofing_attack", |b| {
+        b.iter(|| pdn_core::freeriding::domain_spoofing_attack(black_box(&profile), 1))
+    });
+}
+
+fn bench_pollution(c: &mut Criterion) {
+    let profile = ProviderProfile::peer5();
+    let mut g = c.benchmark_group("pollution");
+    g.bench_function("direct", |b| {
+        b.iter(|| pdn_core::pollution::run_pollution(&profile, PollutionMode::Direct, 1, 2))
+    });
+    g.bench_function("segment", |b| {
+        b.iter(|| {
+            pdn_core::pollution::run_pollution(
+                &profile,
+                PollutionMode::FromSeq(profile.slow_start_segments),
+                1,
+                2,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_ip_leak(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ip_leak");
+    for days in [1u64, 7] {
+        g.bench_with_input(BenchmarkId::new("huya_wild", days), &days, |b, &d| {
+            b.iter(|| {
+                pdn_core::ip_leak::run_wild(
+                    &pdn_core::ip_leak::huya_population(),
+                    MatchingPolicy::Global,
+                    "US",
+                    d as f64,
+                    1,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_squatting(c: &mut Criterion) {
+    let profile = ProviderProfile::peer5();
+    c.bench_function("squatting/figure4_60s", |b| {
+        b.iter(|| pdn_core::squatting::resource_consumption(black_box(&profile), 60, 3))
+    });
+    c.bench_function("squatting/figure5_3points_45s", |b| {
+        b.iter(|| pdn_core::squatting::bandwidth_scaling(black_box(&profile), 3, 45, 3))
+    });
+}
+
+fn bench_economics(c: &mut Criterion) {
+    let profile = ProviderProfile::peer5();
+    c.bench_function("economics/offload_5_viewers", |b| {
+        b.iter(|| pdn_core::economics::offload_curve(black_box(&profile), &[5], 4))
+    });
+    c.bench_function("economics/cost_amplification_4", |b| {
+        b.iter(|| pdn_core::economics::cost_amplification(black_box(&profile), 4, 4))
+    });
+    c.bench_function("pollution/propagation_6_victims", |b| {
+        b.iter(|| pdn_core::pollution::propagation_study(black_box(&profile), 6, 4))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_freeriding, bench_pollution, bench_ip_leak, bench_squatting, bench_economics
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmarks of the §V defense evaluations: the disposable-token flow
+//! (§V-A), the Table VI integrity-checking groups (§V-B), the fake-IM
+//! flood, and the TURN-relay mitigation (§V-C).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_token(c: &mut Criterion) {
+    c.bench_function("defense/token_full_evaluation", |b| {
+        b.iter(|| pdn_core::defense::token::evaluate(1))
+    });
+}
+
+fn bench_integrity(c: &mut Criterion) {
+    c.bench_function("defense/table6_group_pdn_im_60s", |b| {
+        // One hardened-group run (the heaviest Table VI cell).
+        b.iter(|| pdn_core::defense::integrity::table_vi(60, 2))
+    });
+    c.bench_function("defense/fake_im_flood_20", |b| {
+        b.iter(|| pdn_core::defense::integrity::fake_im_flood(20, 3))
+    });
+}
+
+fn bench_privacy(c: &mut Criterion) {
+    c.bench_function("defense/turn_relay_100x16k", |b| {
+        b.iter(|| pdn_core::defense::privacy::evaluate_turn_relay(100, 16_000, 4))
+    });
+    c.bench_function("defense/same_country_matching_1day", |b| {
+        b.iter(|| {
+            pdn_core::ip_leak::run_wild(
+                &pdn_core::ip_leak::rt_news_population(),
+                pdn_provider::MatchingPolicy::SameCountry,
+                "US",
+                1.0,
+                5,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_token, bench_integrity, bench_privacy
+}
+criterion_main!(benches);

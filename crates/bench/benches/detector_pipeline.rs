@@ -1,0 +1,82 @@
+//! Benchmarks of the §III detection pipeline (Tables I–IV): corpus
+//! generation, static scan, dynamic confirmation, and the full funnel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdn_detector::{corpus, tables, Scanner};
+use pdn_simnet::SimRng;
+use std::hint::black_box;
+
+fn bench_corpus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corpus");
+    for haystack in [1_000usize, 10_000] {
+        g.bench_with_input(
+            BenchmarkId::new("generate", haystack),
+            &haystack,
+            |b, &n| {
+                b.iter(|| {
+                    let mut rng = SimRng::seed(1);
+                    corpus::generate(
+                        corpus::CorpusConfig {
+                            website_haystack: n,
+                            app_haystack: n,
+                            video_fraction: 0.3,
+                        },
+                        &mut rng,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut rng = SimRng::seed(2);
+    let eco = corpus::generate(corpus::CorpusConfig::default(), &mut rng);
+    c.bench_function("scanner/static_scan_default_corpus", |b| {
+        let scanner = Scanner::new();
+        b.iter(|| scanner.scan(black_box(&eco)))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("pipeline/tables_1_to_4", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed(3);
+            let eco = corpus::generate(
+                corpus::CorpusConfig {
+                    website_haystack: 2_000,
+                    app_haystack: 5_000,
+                    video_fraction: 0.3,
+                },
+                &mut rng,
+            );
+            tables::run_pipeline(black_box(&eco), &mut rng)
+        })
+    });
+}
+
+fn bench_traffic_analysis(c: &mut Criterion) {
+    // Analyze a real capture produced by a live PDN world.
+    use pdn_provider::world::demo_world;
+    use pdn_simnet::SimTime;
+    let (mut world, _) = demo_world(4);
+    world.net_mut().set_capture(true);
+    world.run_until(SimTime::from_secs(60));
+    let frames = world.net().capture().to_vec();
+    let infra = [
+        world.stun_addr().ip,
+        world.signal_addr().ip,
+        world.cdn_addr().ip,
+    ];
+    c.bench_function("traffic/analyze_world_capture", |b| {
+        b.iter(|| pdn_detector::analyze_capture(black_box(&frames), &infra))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_corpus, bench_scan, bench_pipeline, bench_traffic_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Microbenchmarks of the substrate primitives: crypto throughput, STUN
+//! codec, DTLS record processing, segment generation, and manifest
+//! parsing. These are the per-byte costs underlying the Figure 4 / Table
+//! VI overhead model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    for size in [1_024usize, 65_536, 1_048_576] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| pdn_crypto::sha256::digest(black_box(d)))
+        });
+        g.bench_with_input(BenchmarkId::new("hmac_sha256", size), &data, |b, d| {
+            b.iter(|| pdn_crypto::hmac::hmac_sha256(b"key", black_box(d)))
+        });
+        g.bench_with_input(BenchmarkId::new("md5", size), &data, |b, d| {
+            b.iter(|| pdn_crypto::md5::digest(black_box(d)))
+        });
+    }
+    g.finish();
+
+    c.bench_function("jwt/sign_listing1", |b| {
+        let token = pdn_provider::auth::PdnToken {
+            customer_id: "xx.yy".into(),
+            pdn_peer_id: "1".into(),
+            video_ids: vec![
+                "https://xx.yy/zz.m3u8".into(),
+                "https://xx.yy/hh.m3u8".into(),
+            ],
+            timestamp: 1_619_814_238,
+            ttl: 60,
+            usage_limit: 1,
+        };
+        b.iter(|| black_box(&token).sign(b"provider-secret"))
+    });
+    c.bench_function("jwt/verify_listing1", |b| {
+        let token = pdn_provider::auth::PdnToken {
+            customer_id: "xx.yy".into(),
+            pdn_peer_id: "1".into(),
+            video_ids: vec!["https://xx.yy/zz.m3u8".into()],
+            timestamp: 1_619_814_238,
+            ttl: 60,
+            usage_limit: 1,
+        };
+        let jwt = token.sign(b"provider-secret");
+        b.iter(|| {
+            pdn_crypto::jwt::verify::<pdn_provider::auth::PdnToken>(
+                black_box(&jwt),
+                b"provider-secret",
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_stun(c: &mut Criterion) {
+    use pdn_webrtc::stun::{Attribute, Message};
+    let msg = Message::binding_request([7; 12])
+        .with(Attribute::Username("remote:local".into()))
+        .with(Attribute::Priority(12345))
+        .with(Attribute::MessageIntegrity([9; 32]));
+    let wire = msg.encode();
+    c.bench_function("stun/encode", |b| b.iter(|| black_box(&msg).encode()));
+    c.bench_function("stun/decode", |b| {
+        b.iter(|| Message::decode(black_box(&wire)).unwrap())
+    });
+    c.bench_function("stun/is_stun_sniff", |b| {
+        b.iter(|| pdn_webrtc::stun::is_stun(black_box(&wire)))
+    });
+}
+
+fn bench_dtls(c: &mut Criterion) {
+    use pdn_simnet::SimRng;
+    use pdn_webrtc::{dtls, Certificate, DtlsEndpoint};
+    let mut rng = SimRng::seed(1);
+    let cc = Certificate::generate(&mut rng);
+    let sc = Certificate::generate(&mut rng);
+    c.bench_function("dtls/handshake", |b| {
+        b.iter(|| {
+            let mut r = SimRng::seed(2);
+            let (mut client, hello) =
+                DtlsEndpoint::client(cc.clone(), Some(sc.fingerprint()), &mut r);
+            let mut server = DtlsEndpoint::server(sc.clone(), None, &mut r);
+            dtls::handshake(&mut client, hello, &mut server, &mut r).unwrap();
+            black_box((client, server))
+        })
+    });
+
+    let mut r = SimRng::seed(3);
+    let (mut client, hello) = DtlsEndpoint::client(cc.clone(), Some(sc.fingerprint()), &mut r);
+    let mut server = DtlsEndpoint::server(sc, None, &mut r);
+    dtls::handshake(&mut client, hello, &mut server, &mut r).unwrap();
+    let payload = vec![0u8; 16_000];
+    let mut g = c.benchmark_group("dtls_records");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("seal_16k", |b| {
+        b.iter(|| client.seal(black_box(&payload)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_media(c: &mut Criterion) {
+    use pdn_media::{MediaPlaylist, VideoSource};
+    use std::time::Duration;
+    let src = VideoSource::vod("bench", vec![2_400_000], Duration::from_secs(10), 60);
+    let mut g = c.benchmark_group("media");
+    g.throughput(Throughput::Bytes(src.segment_size(0) as u64));
+    g.bench_function("segment_generation_3mb", |b| {
+        b.iter(|| src.segment(0, black_box(7)).unwrap())
+    });
+    g.finish();
+
+    let playlist = MediaPlaylist::for_source(&src, 0, 0, 60).encode();
+    c.bench_function("media/manifest_parse_60", |b| {
+        b.iter(|| MediaPlaylist::parse(black_box(&playlist)).unwrap())
+    });
+
+    let seg = src.segment(0, 7).unwrap();
+    c.bench_function("media/compute_im_3mb", |b| {
+        b.iter(|| pdn_provider::compute_im(black_box(&seg.data), "bench", 0, 7))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_crypto, bench_stun, bench_dtls, bench_media
+}
+criterion_main!(benches);

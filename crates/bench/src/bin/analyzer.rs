@@ -1,0 +1,163 @@
+//! The PDN analyzer CLI (§IV-A, Figure 2): "our PDN analyzer accepts a PDN
+//! service and a security test as the input" — so does this binary.
+//!
+//! ```sh
+//! cargo run --release -p pdn-bench --bin analyzer -- --provider peer5 --test segment-pollution
+//! cargo run --release -p pdn-bench --bin analyzer -- --provider viblast --test cross-domain --seed 7
+//! cargo run --release -p pdn-bench --bin analyzer -- --list
+//! ```
+
+use pdn_core::pollution::PollutionMode;
+use pdn_provider::{AuthScheme, ProviderProfile};
+
+const TESTS: &[&str] = &[
+    "cross-domain",
+    "domain-spoofing",
+    "direct-pollution",
+    "segment-pollution",
+    "ip-leak",
+    "resource-squatting",
+    "token-defense",
+    "integrity-defense",
+];
+
+const PROVIDERS: &[&str] = &[
+    "peer5",
+    "streamroot",
+    "viblast",
+    "mango-tv",
+    "microsoft-ecdn",
+    "hardened-peer5",
+];
+
+fn provider(name: &str) -> Option<ProviderProfile> {
+    Some(match name {
+        "peer5" => ProviderProfile::peer5(),
+        "streamroot" => ProviderProfile::streamroot(),
+        "viblast" => ProviderProfile::viblast(),
+        "mango-tv" => ProviderProfile::private_mango_tv(),
+        "microsoft-ecdn" => ProviderProfile::microsoft_ecdn(),
+        "hardened-peer5" => {
+            let mut p = ProviderProfile::hardened(&ProviderProfile::peer5());
+            p.auth = AuthScheme::StaticApiKey;
+            p
+        }
+        _ => return None,
+    })
+}
+
+fn usage() -> ! {
+    eprintln!("usage: analyzer --provider <name> --test <name> [--seed N]");
+    eprintln!("       analyzer --list");
+    eprintln!("providers: {}", PROVIDERS.join(", "));
+    eprintln!("tests:     {}", TESTS.join(", "));
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("providers: {}", PROVIDERS.join(", "));
+        println!("tests:     {}", TESTS.join(", "));
+        return;
+    }
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let Some(provider_name) = get("--provider") else {
+        usage()
+    };
+    let Some(test_name) = get("--test") else {
+        usage()
+    };
+    let seed: u64 = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let Some(profile) = provider(&provider_name) else {
+        eprintln!("unknown provider {provider_name:?}");
+        usage()
+    };
+
+    println!("analyzer: provider={} test={test_name} seed={seed}", profile.name);
+    match test_name.as_str() {
+        "cross-domain" => {
+            let (outcome, bytes) = pdn_core::freeriding::cross_domain_attack(
+                &profile,
+                profile.allowlist_default,
+                seed,
+            );
+            println!("outcome: {outcome:?} (attacker exchanged {bytes} P2P bytes)");
+        }
+        "domain-spoofing" => {
+            let (outcome, bytes) =
+                pdn_core::freeriding::domain_spoofing_attack(&profile, seed);
+            println!("outcome: {outcome:?} (attacker exchanged {bytes} P2P bytes)");
+        }
+        "direct-pollution" => {
+            let r = pdn_core::pollution::run_pollution(&profile, PollutionMode::Direct, 2, seed);
+            print_pollution(&r);
+        }
+        "segment-pollution" => {
+            let r = pdn_core::pollution::run_pollution(
+                &profile,
+                PollutionMode::FromSeq(profile.slow_start_segments),
+                2,
+                seed,
+            );
+            print_pollution(&r);
+        }
+        "ip-leak" => {
+            let leaked = pdn_core::ip_leak::ip_leak_basic(&profile, seed);
+            println!(
+                "outcome: {}",
+                if leaked {
+                    "Vulnerable (each peer learned the other's real IP)"
+                } else {
+                    "Protected"
+                }
+            );
+        }
+        "resource-squatting" => {
+            let fig = pdn_core::squatting::resource_consumption(&profile, 90, seed);
+            println!(
+                "outcome: +{:.0}% CPU, +{:.0}% memory vs the no-peer control",
+                fig.cpu_overhead() * 100.0,
+                fig.mem_overhead() * 100.0
+            );
+        }
+        "token-defense" => {
+            let e = pdn_core::defense::token::evaluate(seed);
+            println!(
+                "outcome: defense holds = {} (token {} bytes)",
+                e.defense_holds(),
+                e.token_bytes
+            );
+        }
+        "integrity-defense" => {
+            let t = pdn_core::defense::integrity::table_vi(120, seed);
+            println!("{}", t.render());
+        }
+        other => {
+            eprintln!("unknown test {other:?}");
+            usage()
+        }
+    }
+}
+
+fn print_pollution(r: &pdn_core::PollutionResult) {
+    println!(
+        "outcome: {} — victim played {} polluted / {} total; attacker isolated={} \
+         rejections={} blacklisted={}",
+        if r.attack_succeeded() {
+            "ATTACK SUCCEEDED"
+        } else {
+            "attack blocked"
+        },
+        r.victim_polluted_played,
+        r.victim_total_played,
+        r.attacker_isolated,
+        r.victim_rejections,
+        r.attacker_blacklisted
+    );
+}

@@ -1,0 +1,7 @@
+//! The §V defenses and their evaluations: disposable video-binding tokens
+//! ([`token`]), peer-assisted integrity checking with Table VI
+//! ([`integrity`]), and peer-privacy mitigations ([`privacy`]).
+
+pub mod integrity;
+pub mod privacy;
+pub mod token;

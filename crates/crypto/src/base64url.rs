@@ -1,0 +1,150 @@
+//! Base64url (RFC 4648 §5, unpadded) encoding, as required by JWT (RFC 7515).
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+/// Error returned by [`decode`] on malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeBase64Error {
+    /// Byte offset of the first offending character, or input length for a
+    /// bad overall length.
+    pub position: usize,
+}
+
+impl std::fmt::Display for DecodeBase64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid base64url input at byte {}", self.position)
+    }
+}
+
+impl std::error::Error for DecodeBase64Error {}
+
+/// Encodes `data` as unpadded base64url.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pdn_crypto::base64url::encode(b"hello"), "aGVsbG8");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        if chunk.len() > 1 {
+            out.push(ALPHABET[(triple >> 6) as usize & 0x3f] as char);
+        }
+        if chunk.len() > 2 {
+            out.push(ALPHABET[triple as usize & 0x3f] as char);
+        }
+    }
+    out
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'-' => Some(62),
+        b'_' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes unpadded base64url text.
+///
+/// # Errors
+///
+/// Returns [`DecodeBase64Error`] if `text` contains characters outside the
+/// base64url alphabet or has an impossible length (`len % 4 == 1`).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), pdn_crypto::base64url::DecodeBase64Error> {
+/// assert_eq!(pdn_crypto::base64url::decode("aGVsbG8")?, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(text: &str) -> Result<Vec<u8>, DecodeBase64Error> {
+    let bytes = text.as_bytes();
+    if bytes.len() % 4 == 1 {
+        return Err(DecodeBase64Error {
+            position: bytes.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3 + 2);
+    for (chunk_idx, chunk) in bytes.chunks(4).enumerate() {
+        let mut vals = [0u32; 4];
+        for (i, &c) in chunk.iter().enumerate() {
+            vals[i] = decode_char(c).ok_or(DecodeBase64Error {
+                position: chunk_idx * 4 + i,
+            })? as u32;
+        }
+        let triple = (vals[0] << 18) | (vals[1] << 12) | (vals[2] << 6) | vals[3];
+        out.push((triple >> 16) as u8);
+        if chunk.len() > 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if chunk.len() > 3 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        // RFC 4648 §10 vectors, with padding stripped for the url variant.
+        let cases: [(&[u8], &str); 7] = [
+            (b"", ""),
+            (b"f", "Zg"),
+            (b"fo", "Zm8"),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg"),
+            (b"fooba", "Zm9vYmE"),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, enc) in cases {
+            assert_eq!(encode(raw), enc);
+            assert_eq!(decode(enc).unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn url_safe_alphabet() {
+        // 0xfb 0xff encodes to characters that differ between std and url
+        // base64 ('+/' vs '-_').
+        let enc = encode(&[0xfb, 0xff]);
+        assert!(enc.contains('-') || enc.contains('_'));
+        assert!(!enc.contains('+') && !enc.contains('/'));
+        assert_eq!(decode(&enc).unwrap(), vec![0xfb, 0xff]);
+    }
+
+    #[test]
+    fn rejects_invalid_char() {
+        let err = decode("ab$d").unwrap_err();
+        assert_eq!(err.position, 2);
+    }
+
+    #[test]
+    fn rejects_impossible_length() {
+        assert!(decode("abcde").is_err());
+    }
+
+    #[test]
+    fn roundtrip_all_lengths() {
+        for len in 0..64 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! HMAC-SHA256 as specified by RFC 2104 / FIPS 198-1.
+//!
+//! Used for JWT HS256 signatures (the disposable video-binding token of §V-A),
+//! for signed integrity metadata (SIM) in the peer-assisted integrity
+//! checking defense (§V-B), and for STUN MESSAGE-INTEGRITY in the WebRTC
+//! substrate.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes `HMAC-SHA256(key, msg)`.
+///
+/// Keys longer than the SHA-256 block size are hashed first, per RFC 2104.
+///
+/// # Examples
+///
+/// ```
+/// let mac = pdn_crypto::hmac::hmac_sha256(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(
+///     pdn_crypto::hex(&mac),
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+/// );
+/// ```
+pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(msg);
+    mac.finalize()
+}
+
+/// Incremental HMAC-SHA256.
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC keyed with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let hashed = crate::sha256::digest(key);
+            key_block[..DIGEST_LEN].copy_from_slice(&hashed);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, msg: &[u8]) {
+        self.inner.update(msg);
+    }
+
+    /// Consumes the MAC and returns the 32-byte tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Verifies `tag` against the absorbed message in constant time.
+    pub fn verify(self, tag: &[u8]) -> bool {
+        crate::ct_eq(&self.finalize(), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let mac = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_long_data() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let mac = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131]; // longer than block size, must be pre-hashed
+        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut mac = HmacSha256::new(b"secret");
+        mac.update(b"hello ");
+        mac.update(b"world");
+        assert_eq!(mac.finalize(), hmac_sha256(b"secret", b"hello world"));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha256(b"k", b"m");
+        let mac = HmacSha256::new(b"k");
+        let mut mac2 = mac.clone();
+        mac2.update(b"m");
+        assert!(mac2.verify(&tag));
+        let mut mac3 = HmacSha256::new(b"k");
+        mac3.update(b"m'");
+        assert!(!mac3.verify(&tag));
+    }
+}

@@ -1,0 +1,290 @@
+//! The signature-based static scanner (§III-C).
+//!
+//! Mirrors the paper's crawler: for every video-related or source-indexed
+//! domain it walks subpages to depth 3 (with a page budget standing in for
+//! the 10-minute timeout), matching the signature database against the
+//! rendered content; APKs are unpacked into manifest keys and namespaces
+//! and matched the same way.
+
+use crate::corpus::{AndroidApp, Ecosystem, Website};
+use crate::signatures::{
+    builtin_signatures, extract_api_key, match_apk, match_page, ProviderTag, Signature,
+};
+
+/// Maximum crawl depth (the paper's "within a depth of 3").
+pub const MAX_DEPTH: u32 = 3;
+
+/// A website flagged as a potential PDN customer.
+#[derive(Debug, Clone)]
+pub struct SiteDetection {
+    /// The domain.
+    pub domain: String,
+    /// Providers whose signatures matched.
+    pub providers: Vec<ProviderTag>,
+    /// API key recovered by regex extraction, if any.
+    pub extracted_key: Option<String>,
+    /// Tranco-style rank.
+    pub rank: u32,
+    /// Monthly visits, if known.
+    pub monthly_visits: Option<u64>,
+    /// Depth at which the first signature matched.
+    pub matched_depth: u32,
+}
+
+/// An app flagged as a potential PDN customer.
+#[derive(Debug, Clone)]
+pub struct AppDetection {
+    /// Package name.
+    pub package: String,
+    /// Providers whose signatures matched.
+    pub providers: Vec<ProviderTag>,
+    /// Historical APK versions carrying the SDK.
+    pub apk_versions: u32,
+    /// Downloads, if listed.
+    pub downloads: Option<u64>,
+}
+
+/// Scanner statistics (the §III-C funnel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Domains considered (video-related + source-indexed).
+    pub domains_scanned: usize,
+    /// Pages fetched across all crawls.
+    pub pages_fetched: u64,
+    /// APKs unpacked.
+    pub apks_scanned: usize,
+}
+
+/// Output of a full static scan.
+#[derive(Debug)]
+pub struct ScanOutcome {
+    /// Flagged websites.
+    pub sites: Vec<SiteDetection>,
+    /// Flagged apps.
+    pub apps: Vec<AppDetection>,
+    /// Funnel statistics.
+    pub stats: ScanStats,
+}
+
+/// The static scanner.
+#[derive(Debug)]
+pub struct Scanner {
+    signatures: Vec<Signature>,
+}
+
+impl Default for Scanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scanner {
+    /// Creates a scanner with the built-in signature database.
+    pub fn new() -> Self {
+        Scanner {
+            signatures: builtin_signatures(),
+        }
+    }
+
+    /// Crawls one website; returns a detection if any signature matches
+    /// within the depth limit.
+    pub fn scan_site(&self, site: &Website, stats: &mut ScanStats) -> Option<SiteDetection> {
+        // The paper's filter: category engines say video, or the domain
+        // came from the source-code search engines.
+        if !site.video_category && !site.in_source_index {
+            return None;
+        }
+        // The crawler only descends when the homepage has a <video> tag
+        // (or the site is source-indexed).
+        let homepage = site.page_content(0);
+        stats.pages_fetched += 1;
+        let descend = homepage.contains("<video") || site.in_source_index;
+        let mut best: Option<(u32, Vec<ProviderTag>, Option<String>)> = None;
+        let depths: &[u32] = if descend { &[0, 1, 2, 3] } else { &[0] };
+        for &d in depths {
+            let content = if d == 0 {
+                homepage.clone()
+            } else {
+                stats.pages_fetched += 1;
+                site.page_content(d)
+            };
+            let hits = match_page(&self.signatures, &content);
+            if !hits.is_empty() {
+                let key = extract_api_key(&content);
+                best = Some((d, hits, key));
+                break;
+            }
+        }
+        let (matched_depth, providers, extracted_key) = best?;
+        Some(SiteDetection {
+            domain: site.domain.clone(),
+            providers,
+            extracted_key,
+            rank: site.rank,
+            monthly_visits: site.monthly_visits,
+            matched_depth,
+        })
+    }
+
+    /// Unpacks one APK and matches signatures.
+    pub fn scan_app(&self, app: &AndroidApp, stats: &mut ScanStats) -> Option<AppDetection> {
+        stats.apks_scanned += 1;
+        let providers = match_apk(&self.signatures, &app.manifest_keys, &app.namespaces);
+        if providers.is_empty() {
+            return None;
+        }
+        Some(AppDetection {
+            package: app.package.clone(),
+            providers,
+            apk_versions: app.apk_versions,
+            downloads: app.downloads,
+        })
+    }
+
+    /// Scans the whole ecosystem.
+    pub fn scan(&self, eco: &Ecosystem) -> ScanOutcome {
+        let mut stats = ScanStats::default();
+        let mut sites = Vec::new();
+        for site in &eco.websites {
+            if site.video_category || site.in_source_index {
+                stats.domains_scanned += 1;
+            }
+            if let Some(d) = self.scan_site(site, &mut stats) {
+                sites.push(d);
+            }
+        }
+        let mut apps = Vec::new();
+        for app in &eco.apps {
+            if let Some(d) = self.scan_app(app, &mut stats) {
+                apps.push(d);
+            }
+        }
+        ScanOutcome { sites, apps, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusConfig, Plant, TABLE1_PLAN};
+    use pdn_simnet::SimRng;
+
+    fn outcome() -> (crate::corpus::Ecosystem, ScanOutcome) {
+        let mut rng = SimRng::seed(3);
+        let eco = generate(
+            CorpusConfig {
+                website_haystack: 500,
+                app_haystack: 500,
+                video_fraction: 0.4,
+            },
+            &mut rng,
+        );
+        let out = Scanner::new().scan(&eco);
+        (eco, out)
+    }
+
+    #[test]
+    fn finds_exactly_the_visible_public_plants() {
+        let (eco, out) = outcome();
+        for (provider, pot_sites, ..) in TABLE1_PLAN {
+            let found = out
+                .sites
+                .iter()
+                .filter(|s| s.providers.contains(provider))
+                .count();
+            // Every planted public site is statically visible in the
+            // default corpus (depth ≤ 3, not dynamic).
+            assert_eq!(found, *pot_sites, "{provider}");
+        }
+        // No haystack false positives.
+        for s in &out.sites {
+            let truth = eco.websites.iter().find(|w| w.domain == s.domain).unwrap();
+            assert!(truth.plant.is_some(), "false positive on {}", s.domain);
+        }
+    }
+
+    #[test]
+    fn app_scan_matches_table1_potentials() {
+        let (_, out) = outcome();
+        for (provider, _, _, pot_apps, _, pot_apks, _) in TABLE1_PLAN {
+            let (apps, versions) = out
+                .apps
+                .iter()
+                .filter(|a| a.providers.contains(provider))
+                .fold((0usize, 0u32), |(n, v), a| (n + 1, v + a.apk_versions));
+            assert_eq!(apps, *pot_apps, "{provider} apps");
+            assert_eq!(versions, *pot_apks, "{provider} APKs");
+        }
+    }
+
+    #[test]
+    fn extracts_exactly_the_unobfuscated_keys() {
+        let (eco, out) = outcome();
+        let extracted: Vec<&SiteDetection> =
+            out.sites.iter().filter(|s| s.extracted_key.is_some()).collect();
+        assert_eq!(extracted.len(), 44, "§IV-B: 44 keys extracted");
+        for d in extracted {
+            let truth = eco.websites.iter().find(|w| w.domain == d.domain).unwrap();
+            let Some(Plant::Public { api_key, .. }) = &truth.plant else {
+                panic!("extracted key from non-public site");
+            };
+            assert_eq!(d.extracted_key.as_ref(), Some(api_key));
+        }
+    }
+
+    #[test]
+    fn generic_webrtc_candidates_found() {
+        let (_, out) = outcome();
+        let generic = out
+            .sites
+            .iter()
+            .filter(|s| s.providers.contains(&ProviderTag::GenericWebRtc))
+            .count();
+        // 10 private + 2 adult + 3 tracking + 42 + 328 = 385 (§III-D).
+        assert_eq!(generic, 385);
+    }
+
+    #[test]
+    fn non_video_unindexed_sites_skipped() {
+        let scanner = Scanner::new();
+        let mut stats = ScanStats::default();
+        let site = crate::corpus::Website {
+            domain: "news.example".into(),
+            rank: 10,
+            video_category: false,
+            in_source_index: false,
+            monthly_visits: None,
+            plant: None,
+            visibility: crate::corpus::Visibility { depth: 0, dynamic: false },
+            trigger: crate::corpus::Trigger::Always,
+        };
+        assert!(scanner.scan_site(&site, &mut stats).is_none());
+        assert_eq!(stats.pages_fetched, 0);
+    }
+
+    #[test]
+    fn dynamic_plants_evade_static_scan() {
+        let scanner = Scanner::new();
+        let mut stats = ScanStats::default();
+        let site = crate::corpus::Website {
+            domain: "dyn.example".into(),
+            rank: 10,
+            video_category: true,
+            in_source_index: false,
+            monthly_visits: None,
+            plant: Some(Plant::Public {
+                provider: ProviderTag::Peer5,
+                api_key: "k".into(),
+                key_obfuscated: false,
+                key_expired: false,
+                allowlist_enabled: false,
+            }),
+            visibility: crate::corpus::Visibility { depth: 1, dynamic: true },
+            trigger: crate::corpus::Trigger::Always,
+        };
+        assert!(
+            scanner.scan_site(&site, &mut stats).is_none(),
+            "runtime-loaded signatures are invisible statically"
+        );
+    }
+}

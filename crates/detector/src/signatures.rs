@@ -1,0 +1,201 @@
+//! PDN SDK signatures (§III-C).
+//!
+//! The paper fingerprints PDN customers with "URL patterns (e.g.,
+//! `api.peer5.com/peer5.js?id=*`), unique namespaces (e.g.,
+//! `com.viblast.android`), and meta-data in the Android manifest file (e.g.
+//! `io.streamroot.dna.StreamrootKey`)". The same signature database drives
+//! both the website crawler and the APK scanner here.
+
+/// Which provider a signature attributes to.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum ProviderTag {
+    /// Peer5.
+    Peer5,
+    /// Streamroot.
+    Streamroot,
+    /// Viblast.
+    Viblast,
+    /// Generic WebRTC machinery without a known provider — the candidate
+    /// set from which private PDN services are confirmed (§III-D).
+    GenericWebRtc,
+}
+
+impl std::fmt::Display for ProviderTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProviderTag::Peer5 => "Peer5",
+            ProviderTag::Streamroot => "Streamroot",
+            ProviderTag::Viblast => "Viblast",
+            ProviderTag::GenericWebRtc => "WebRTC(generic)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Where a signature is searched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureKind {
+    /// Substring of a page's HTML/JS (URL patterns, namespaces).
+    PageContent,
+    /// Key in an Android manifest.
+    AndroidManifest,
+    /// Java/Kotlin package namespace inside an APK.
+    AndroidNamespace,
+}
+
+/// One signature.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    /// Attributed provider.
+    pub provider: ProviderTag,
+    /// Where to search.
+    pub kind: SignatureKind,
+    /// The needle. `*` in URL patterns is handled by substring matching on
+    /// the invariant prefix.
+    pub needle: &'static str,
+}
+
+/// The built-in signature database from §III-C.
+pub fn builtin_signatures() -> Vec<Signature> {
+    use ProviderTag::*;
+    use SignatureKind::*;
+    vec![
+        // Peer5
+        Signature { provider: Peer5, kind: PageContent, needle: "api.peer5.com/peer5.js?id=" },
+        Signature { provider: Peer5, kind: PageContent, needle: "window.peer5" },
+        Signature { provider: Peer5, kind: AndroidNamespace, needle: "com.peer5.sdk" },
+        Signature { provider: Peer5, kind: AndroidManifest, needle: "com.peer5.ApiKey" },
+        // Streamroot
+        Signature { provider: Streamroot, kind: PageContent, needle: "cdn.streamroot.io/dna" },
+        Signature { provider: Streamroot, kind: PageContent, needle: "streamrootkey" },
+        Signature { provider: Streamroot, kind: AndroidManifest, needle: "io.streamroot.dna.StreamrootKey" },
+        Signature { provider: Streamroot, kind: AndroidNamespace, needle: "io.streamroot.dna" },
+        // Viblast
+        Signature { provider: Viblast, kind: PageContent, needle: "viblast.com/pdn/player.js" },
+        Signature { provider: Viblast, kind: PageContent, needle: "viblast(" },
+        Signature { provider: Viblast, kind: AndroidNamespace, needle: "com.viblast.android" },
+        // Generic WebRTC (private PDN candidates)
+        Signature { provider: GenericWebRtc, kind: PageContent, needle: "RTCPeerConnection" },
+        Signature { provider: GenericWebRtc, kind: PageContent, needle: "createDataChannel" },
+    ]
+}
+
+/// Result of matching `content` against the database.
+pub fn match_page(signatures: &[Signature], content: &str) -> Vec<ProviderTag> {
+    let lower = content.to_lowercase();
+    let mut hits: Vec<ProviderTag> = signatures
+        .iter()
+        .filter(|s| s.kind == SignatureKind::PageContent)
+        .filter(|s| lower.contains(&s.needle.to_lowercase()))
+        .map(|s| s.provider.clone())
+        .collect();
+    hits.dedup();
+    // Known-provider hits subsume generic WebRTC hits.
+    if hits.iter().any(|p| *p != ProviderTag::GenericWebRtc) {
+        hits.retain(|p| *p != ProviderTag::GenericWebRtc);
+    }
+    hits.sort_by_key(|p| format!("{p:?}"));
+    hits.dedup();
+    hits
+}
+
+/// Matches APK artifacts (manifest keys + namespaces).
+pub fn match_apk(
+    signatures: &[Signature],
+    manifest_keys: &[String],
+    namespaces: &[String],
+) -> Vec<ProviderTag> {
+    let mut hits: Vec<ProviderTag> = signatures
+        .iter()
+        .filter_map(|s| match s.kind {
+            SignatureKind::AndroidManifest => manifest_keys
+                .iter()
+                .any(|k| k.contains(s.needle))
+                .then(|| s.provider.clone()),
+            SignatureKind::AndroidNamespace => namespaces
+                .iter()
+                .any(|n| n.starts_with(s.needle))
+                .then(|| s.provider.clone()),
+            SignatureKind::PageContent => None,
+        })
+        .collect();
+    hits.sort_by_key(|p| format!("{p:?}"));
+    hits.dedup();
+    hits
+}
+
+/// Extracts a Peer5/Streamroot/Viblast-style API key from page content via
+/// the regular-expression-like prefix matching of §IV-B. Returns `None`
+/// for obfuscated or dynamically-loaded keys.
+pub fn extract_api_key(content: &str) -> Option<String> {
+    for marker in ["peer5.js?id=", "data-sr-key=\"", "viblast-key=\""] {
+        if let Some(pos) = content.find(marker) {
+            let rest = &content[pos + marker.len()..];
+            let key: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            if !key.is_empty() {
+                return Some(key);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_matching_attributes_providers() {
+        let sigs = builtin_signatures();
+        let html = r#"<script src="https://api.peer5.com/peer5.js?id=abc123"></script>"#;
+        assert_eq!(match_page(&sigs, html), vec![ProviderTag::Peer5]);
+        let html = r#"<script src="https://cdn.streamroot.io/dna/latest.js"></script>"#;
+        assert_eq!(match_page(&sigs, html), vec![ProviderTag::Streamroot]);
+        assert!(match_page(&sigs, "<html>plain page</html>").is_empty());
+    }
+
+    #[test]
+    fn known_provider_subsumes_generic() {
+        let sigs = builtin_signatures();
+        let html = "new RTCPeerConnection(); api.peer5.com/peer5.js?id=x";
+        assert_eq!(match_page(&sigs, html), vec![ProviderTag::Peer5]);
+        let html = "pc = new RTCPeerConnection(); pc.createDataChannel('x')";
+        assert_eq!(match_page(&sigs, html), vec![ProviderTag::GenericWebRtc]);
+    }
+
+    #[test]
+    fn apk_matching() {
+        let sigs = builtin_signatures();
+        let tags = match_apk(
+            &sigs,
+            &["io.streamroot.dna.StreamrootKey".to_string()],
+            &["com.example.app".to_string()],
+        );
+        assert_eq!(tags, vec![ProviderTag::Streamroot]);
+        let tags = match_apk(
+            &sigs,
+            &[],
+            &["com.viblast.android.player".to_string()],
+        );
+        assert_eq!(tags, vec![ProviderTag::Viblast]);
+        assert!(match_apk(&sigs, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn key_extraction() {
+        assert_eq!(
+            extract_api_key(r#"src="https://api.peer5.com/peer5.js?id=abcDEF123""#),
+            Some("abcDEF123".into())
+        );
+        assert_eq!(
+            extract_api_key(r#"<div data-sr-key="sr-key-42">"#),
+            Some("sr-key-42".into())
+        );
+        // Obfuscated keys do not match the extractor.
+        assert_eq!(extract_api_key("_0x101f38[_0x2c4aeb(0x234)]"), None);
+    }
+}

@@ -1,0 +1,321 @@
+//! The CDN substrate: origin server, edge cache, and egress cost accounting.
+//!
+//! The paper's testbed is a Wowza origin fronted by Amazon CloudFront
+//! (§IV-A). PDN economics — the 95% bandwidth-offload claim, the free-riding
+//! overcharge, the refetch cost of the IM-conflict defense — all hinge on
+//! *who pays for which byte*, so the CDN tracks egress bytes and dollars.
+
+use std::collections::HashMap;
+
+use crate::manifest::{MasterPlaylist, MediaPlaylist};
+use crate::source::{Segment, SegmentId, VideoId, VideoSource};
+
+/// Stores authoritative video sources (the Wowza role).
+#[derive(Debug, Default)]
+pub struct OriginServer {
+    sources: HashMap<VideoId, VideoSource>,
+}
+
+impl OriginServer {
+    /// Creates an empty origin.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a video source.
+    pub fn publish(&mut self, source: VideoSource) {
+        self.sources.insert(source.id().clone(), source);
+    }
+
+    /// Looks up a published source.
+    pub fn source(&self, video: &VideoId) -> Option<&VideoSource> {
+        self.sources.get(video)
+    }
+
+    /// Generates the authentic segment for `id`, if published and in range.
+    pub fn segment(&self, id: &SegmentId) -> Option<Segment> {
+        self.sources.get(&id.video)?.segment(id.rendition, id.seq)
+    }
+}
+
+/// An LRU edge cache keyed by segment, with byte-capacity eviction.
+#[derive(Debug)]
+pub struct EdgeCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    // Values: (segment, last-use counter)
+    entries: HashMap<SegmentId, (Segment, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl EdgeCache {
+    /// Creates a cache holding at most `capacity_bytes` of segment data.
+    pub fn new(capacity_bytes: usize) -> Self {
+        EdgeCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fetches from cache, recording a hit or miss.
+    pub fn get(&mut self, id: &SegmentId) -> Option<Segment> {
+        self.clock += 1;
+        match self.entries.get_mut(id) {
+            Some((seg, used)) => {
+                *used = self.clock;
+                self.hits += 1;
+                Some(seg.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a segment, evicting least-recently-used entries as needed.
+    ///
+    /// Segments larger than the whole cache are not cached.
+    pub fn put(&mut self, segment: Segment) {
+        let size = segment.len();
+        if size > self.capacity_bytes {
+            return;
+        }
+        self.clock += 1;
+        if let Some((old, _)) = self.entries.remove(&segment.id) {
+            self.used_bytes -= old.len();
+        }
+        while self.used_bytes + size > self.capacity_bytes {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+                .expect("cache over capacity implies at least one entry");
+            let (seg, _) = self.entries.remove(&lru).expect("lru key exists");
+            self.used_bytes -= seg.len();
+        }
+        self.used_bytes += size;
+        self.entries.insert(segment.id.clone(), (segment, self.clock));
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+}
+
+/// Egress accounting of a CDN distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct CdnBill {
+    /// Total bytes served to clients.
+    pub egress_bytes: u64,
+    /// Number of segment requests served.
+    pub requests: u64,
+    /// Accumulated egress charge in dollars.
+    pub cost_usd: f64,
+}
+
+/// The CDN facade: origin + edge cache + billing (the CloudFront role).
+#[derive(Debug)]
+pub struct Cdn {
+    origin: OriginServer,
+    edge: EdgeCache,
+    bill: CdnBill,
+    cost_per_gb: f64,
+}
+
+impl Cdn {
+    /// CloudFront-like default egress price.
+    pub const DEFAULT_COST_PER_GB: f64 = 0.085;
+
+    /// Creates a CDN over `origin` with an edge cache of `cache_bytes`.
+    pub fn new(origin: OriginServer, cache_bytes: usize) -> Self {
+        Cdn {
+            origin,
+            edge: EdgeCache::new(cache_bytes),
+            bill: CdnBill::default(),
+            cost_per_gb: Self::DEFAULT_COST_PER_GB,
+        }
+    }
+
+    /// Overrides the egress price ($/GB).
+    pub fn set_cost_per_gb(&mut self, cost: f64) {
+        self.cost_per_gb = cost;
+    }
+
+    /// Read access to the origin.
+    pub fn origin(&self) -> &OriginServer {
+        &self.origin
+    }
+
+    /// Mutable access to the origin (publishing new sources).
+    pub fn origin_mut(&mut self) -> &mut OriginServer {
+        &mut self.origin
+    }
+
+    /// Serves a segment request, billing egress.
+    ///
+    /// Misses populate the edge cache from the origin.
+    pub fn serve_segment(&mut self, id: &SegmentId) -> Option<Segment> {
+        let seg = match self.edge.get(id) {
+            Some(seg) => seg,
+            None => {
+                let seg = self.origin.segment(id)?;
+                self.edge.put(seg.clone());
+                seg
+            }
+        };
+        self.bill.requests += 1;
+        self.bill.egress_bytes += seg.len() as u64;
+        self.bill.cost_usd += seg.len() as f64 / 1e9 * self.cost_per_gb;
+        Some(seg)
+    }
+
+    /// Serves the master playlist of `video`.
+    pub fn serve_master(&mut self, video: &VideoId) -> Option<String> {
+        let src = self.origin.source(video)?;
+        let text = MasterPlaylist::for_source(src).encode();
+        self.bill.egress_bytes += text.len() as u64;
+        Some(text)
+    }
+
+    /// Serves a media playlist covering `[from, to)` of `rendition`.
+    pub fn serve_playlist(
+        &mut self,
+        video: &VideoId,
+        rendition: u8,
+        from: u64,
+        to: u64,
+    ) -> Option<String> {
+        let src = self.origin.source(video)?;
+        let text = MediaPlaylist::for_source(src, rendition, from, to).encode();
+        self.bill.egress_bytes += text.len() as u64;
+        Some(text)
+    }
+
+    /// The current bill.
+    pub fn bill(&self) -> CdnBill {
+        self.bill
+    }
+
+    /// Edge cache `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.edge.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cdn() -> Cdn {
+        let mut origin = OriginServer::new();
+        origin.publish(VideoSource::vod(
+            "v",
+            vec![800_000],
+            Duration::from_secs(4),
+            20,
+        ));
+        Cdn::new(origin, 64 * 1024 * 1024)
+    }
+
+    fn sid(seq: u64) -> SegmentId {
+        SegmentId {
+            video: VideoId::new("v"),
+            rendition: 0,
+            seq,
+        }
+    }
+
+    #[test]
+    fn serves_authentic_segments() {
+        let mut c = cdn();
+        let seg = c.serve_segment(&sid(0)).unwrap();
+        let authentic = c.origin().source(&VideoId::new("v")).unwrap().segment(0, 0);
+        assert_eq!(Some(seg), authentic);
+    }
+
+    #[test]
+    fn cache_hit_on_second_request() {
+        let mut c = cdn();
+        c.serve_segment(&sid(0));
+        c.serve_segment(&sid(0));
+        let (hits, misses) = c.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn billing_accumulates() {
+        let mut c = cdn();
+        let seg = c.serve_segment(&sid(0)).unwrap();
+        c.serve_segment(&sid(1));
+        let bill = c.bill();
+        assert_eq!(bill.requests, 2);
+        assert_eq!(bill.egress_bytes, seg.len() as u64 * 2);
+        assert!(bill.cost_usd > 0.0);
+    }
+
+    #[test]
+    fn unknown_video_is_none() {
+        let mut c = cdn();
+        assert!(c
+            .serve_segment(&SegmentId {
+                video: VideoId::new("nope"),
+                rendition: 0,
+                seq: 0
+            })
+            .is_none());
+        assert!(c.serve_master(&VideoId::new("nope")).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let seg_size = {
+            let c = cdn();
+            c.origin().source(&VideoId::new("v")).unwrap().segment_size(0)
+        };
+        let mut origin = OriginServer::new();
+        origin.publish(VideoSource::vod(
+            "v",
+            vec![800_000],
+            Duration::from_secs(4),
+            20,
+        ));
+        // Cache fits exactly two segments.
+        let mut c = Cdn::new(origin, seg_size * 2);
+        c.serve_segment(&sid(0));
+        c.serve_segment(&sid(1));
+        c.serve_segment(&sid(0)); // touch 0, making 1 the LRU
+        c.serve_segment(&sid(2)); // evicts 1
+        c.serve_segment(&sid(0)); // still cached
+        c.serve_segment(&sid(1)); // miss again
+        let (hits, misses) = c.cache_stats();
+        assert_eq!(hits, 2, "seq 0 hit twice");
+        assert_eq!(misses, 4);
+    }
+
+    #[test]
+    fn playlists_served_and_parse() {
+        let mut c = cdn();
+        let master = c.serve_master(&VideoId::new("v")).unwrap();
+        assert!(MasterPlaylist::parse(&master).is_ok());
+        let media = c.serve_playlist(&VideoId::new("v"), 0, 0, 20).unwrap();
+        let parsed = MediaPlaylist::parse(&media).unwrap();
+        assert_eq!(parsed.entries.len(), 20);
+        assert!(parsed.ended);
+    }
+}

@@ -1,0 +1,299 @@
+//! Video sources and segments.
+//!
+//! HTTP adaptive streaming (HLS/DASH, §II of the paper) splits a video into
+//! small TS segments at several bitrates, tracked by a manifest. This module
+//! models the content itself: a [`VideoSource`] deterministically generates
+//! the bytes of every [`Segment`], so any two simulated hosts (origin CDN,
+//! fake CDN, peers) agree on what the *authentic* content is — which is what
+//! makes pollution detectable.
+
+use bytes::Bytes;
+use pdn_simnet::SimRng;
+use std::time::Duration;
+
+/// Identifier of a video or live channel (the paper composes video IDs from
+/// fully-qualified manifest URLs, §V-A).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct VideoId(pub String);
+
+impl VideoId {
+    /// Creates an ID from anything string-like.
+    pub fn new(id: impl Into<String>) -> Self {
+        VideoId(id.into())
+    }
+}
+
+impl std::fmt::Display for VideoId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for VideoId {
+    fn from(s: &str) -> Self {
+        VideoId(s.to_string())
+    }
+}
+
+/// Identifies one segment of one rendition of one video.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SegmentId {
+    /// The video.
+    pub video: VideoId,
+    /// Index into the bitrate ladder.
+    pub rendition: u8,
+    /// Media sequence number.
+    pub seq: u64,
+}
+
+impl std::fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/r{}/s{}.ts", self.video, self.rendition, self.seq)
+    }
+}
+
+/// A video segment: identity plus payload bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Which segment this is.
+    pub id: SegmentId,
+    /// Play duration.
+    pub duration: Duration,
+    /// The media bytes (MPEG-TS-like: 188-byte packets with 0x47 sync).
+    pub data: Bytes,
+}
+
+impl Segment {
+    /// Segment size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the segment carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A video (VOD asset or live channel) with a bitrate ladder.
+#[derive(Debug, Clone)]
+pub struct VideoSource {
+    id: VideoId,
+    /// Bits per second of each rendition, ascending.
+    ladder: Vec<u64>,
+    segment_duration: Duration,
+    /// Total segments for VOD; `None` for an endless live channel.
+    total_segments: Option<u64>,
+    content_seed: u64,
+}
+
+impl VideoSource {
+    /// Creates a VOD source with `total_segments` segments per rendition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty, unsorted, or the segment duration is
+    /// zero.
+    pub fn vod(
+        id: impl Into<VideoId>,
+        ladder: Vec<u64>,
+        segment_duration: Duration,
+        total_segments: u64,
+    ) -> Self {
+        Self::build(id.into(), ladder, segment_duration, Some(total_segments))
+    }
+
+    /// Creates an endless live channel.
+    pub fn live(id: impl Into<VideoId>, ladder: Vec<u64>, segment_duration: Duration) -> Self {
+        Self::build(id.into(), ladder, segment_duration, None)
+    }
+
+    fn build(
+        id: VideoId,
+        ladder: Vec<u64>,
+        segment_duration: Duration,
+        total_segments: Option<u64>,
+    ) -> Self {
+        assert!(!ladder.is_empty(), "bitrate ladder must not be empty");
+        assert!(
+            ladder.windows(2).all(|w| w[0] <= w[1]),
+            "bitrate ladder must be ascending"
+        );
+        assert!(
+            !segment_duration.is_zero(),
+            "segment duration must be positive"
+        );
+        // Content seed derives from the ID so all parties generate identical
+        // authentic bytes.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in id.0.as_bytes() {
+            seed ^= *b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        VideoSource {
+            id,
+            ladder,
+            segment_duration,
+            total_segments,
+            content_seed: seed,
+        }
+    }
+
+    /// The video's ID.
+    pub fn id(&self) -> &VideoId {
+        &self.id
+    }
+
+    /// The bitrate ladder (bits per second, ascending).
+    pub fn ladder(&self) -> &[u64] {
+        &self.ladder
+    }
+
+    /// Duration of each segment.
+    pub fn segment_duration(&self) -> Duration {
+        self.segment_duration
+    }
+
+    /// Number of segments for VOD, `None` for live.
+    pub fn total_segments(&self) -> Option<u64> {
+        self.total_segments
+    }
+
+    /// Whether this is a live channel.
+    pub fn is_live(&self) -> bool {
+        self.total_segments.is_none()
+    }
+
+    /// Size in bytes of one segment of `rendition`.
+    pub fn segment_size(&self, rendition: u8) -> usize {
+        let bps = self.ladder[rendition as usize];
+        let raw = (bps as f64 * self.segment_duration.as_secs_f64() / 8.0) as usize;
+        // Round up to whole 188-byte TS packets.
+        raw.div_ceil(188) * 188
+    }
+
+    /// Generates the authentic segment `(rendition, seq)`.
+    ///
+    /// Returns `None` for out-of-range renditions or past-the-end VOD
+    /// sequence numbers.
+    pub fn segment(&self, rendition: u8, seq: u64) -> Option<Segment> {
+        if rendition as usize >= self.ladder.len() {
+            return None;
+        }
+        if let Some(total) = self.total_segments {
+            if seq >= total {
+                return None;
+            }
+        }
+        let size = self.segment_size(rendition);
+        let mut rng = SimRng::seed(
+            self.content_seed
+                ^ (rendition as u64) << 56
+                ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let mut data = vec![0u8; size];
+        for chunk in data.chunks_mut(8) {
+            let v = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+        for i in (0..size).step_by(188) {
+            data[i] = 0x47; // MPEG-TS sync byte
+        }
+        Some(Segment {
+            id: SegmentId {
+                video: self.id.clone(),
+                rendition,
+                seq,
+            },
+            duration: self.segment_duration,
+            data: Bytes::from(data),
+        })
+    }
+
+    /// The highest media sequence published by time `elapsed` for a live
+    /// channel (or the VOD end).
+    pub fn live_edge(&self, elapsed: Duration) -> u64 {
+        let seq = (elapsed.as_secs_f64() / self.segment_duration.as_secs_f64()) as u64;
+        match self.total_segments {
+            Some(total) => seq.min(total),
+            None => seq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src() -> VideoSource {
+        VideoSource::vod(
+            "https://cdn.test/video.m3u8",
+            vec![1_000_000, 3_000_000],
+            Duration::from_secs(10),
+            10,
+        )
+    }
+
+    #[test]
+    fn deterministic_content() {
+        let a = src().segment(0, 3).unwrap();
+        let b = src().segment(0, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_segments_differ() {
+        let s = src();
+        assert_ne!(s.segment(0, 1).unwrap().data, s.segment(0, 2).unwrap().data);
+        assert_ne!(s.segment(0, 1).unwrap().data, s.segment(1, 1).unwrap().data);
+    }
+
+    #[test]
+    fn size_matches_bitrate() {
+        let s = src();
+        // 1 Mbps * 10s / 8 = 1.25 MB, rounded to TS packets.
+        let seg = s.segment(0, 0).unwrap();
+        let expect = 1_250_000usize.div_ceil(188) * 188;
+        assert_eq!(seg.len(), expect);
+        // Higher rendition is proportionally larger.
+        assert!(s.segment(1, 0).unwrap().len() > seg.len() * 2);
+    }
+
+    #[test]
+    fn ts_sync_bytes_present() {
+        let seg = src().segment(0, 0).unwrap();
+        for (i, packet) in seg.data.chunks(188).enumerate() {
+            assert_eq!(packet[0], 0x47, "packet {i} missing sync byte");
+        }
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let s = src();
+        assert!(s.segment(2, 0).is_none(), "rendition out of range");
+        assert!(s.segment(0, 10).is_none(), "seq past VOD end");
+        assert!(s.segment(0, 9).is_some());
+    }
+
+    #[test]
+    fn live_edge_advances() {
+        let live = VideoSource::live("ch", vec![2_000_000], Duration::from_secs(4));
+        assert_eq!(live.live_edge(Duration::from_secs(0)), 0);
+        assert_eq!(live.live_edge(Duration::from_secs(9)), 2);
+        assert!(live.segment(0, 1_000_000).is_some(), "live never ends");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_ladder_panics() {
+        VideoSource::vod("x", vec![2, 1], Duration::from_secs(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_ladder_panics() {
+        VideoSource::vod("x", vec![], Duration::from_secs(1), 1);
+    }
+}

@@ -1,0 +1,686 @@
+//! Wire formats of the PDN system.
+//!
+//! Three planes, mirroring Figure 1 of the paper:
+//!
+//! 1. **Signaling** (peer ↔ PDN server): JSON messages inside a TLS-marked
+//!    envelope. A passive capture sees only that TLS flows to the PDN
+//!    server; the analyzer's MITM proxy (peer-side tap with a self-signed
+//!    root, per the threat model) reads and rewrites the JSON.
+//! 2. **HTTP** (peer ↔ CDN): binary request/response frames for manifests
+//!    and segments.
+//! 3. **P2P** (peer ↔ peer): compact binary messages that travel *inside*
+//!    DTLS data-channel records — request/offer/deliver segments, plus the
+//!    signed-integrity-metadata extension of the §V-B defense.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use pdn_media::VideoId;
+use pdn_webrtc::SessionDescription;
+
+/// Marker prefix for TLS-protected signaling frames.
+pub const TLS_MARKER: &[u8; 4] = b"TLS|";
+/// Marker prefix for HTTP frames.
+pub const HTTP_MARKER: &[u8; 4] = b"HTP|";
+
+/// Signaling messages (peer ↔ PDN server).
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum SignalMsg {
+    /// Peer requests to join the swarm for `video`.
+    Join {
+        /// Static API key, if the provider uses one.
+        api_key: Option<String>,
+        /// Temporary or JWT token, if the provider uses one.
+        token: Option<String>,
+        /// The `Origin` header of the embedding page (spoofable).
+        origin: String,
+        /// Video being watched.
+        video: String,
+        /// Hash of the manifest the peer fetched (hex), for swarm grouping.
+        manifest_hash: String,
+        /// The peer's session description (candidates = the IP leak).
+        sdp: SessionDescription,
+    },
+    /// Join accepted; the server assigns an ID and introduces neighbors.
+    JoinOk {
+        /// Server-assigned peer ID.
+        peer_id: u64,
+        /// Existing swarm members to connect to.
+        neighbors: Vec<(u64, SessionDescription)>,
+    },
+    /// Join rejected.
+    JoinDenied {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Notifies an existing member that a new peer joined.
+    PeerJoined {
+        /// The new peer's ID.
+        peer_id: u64,
+        /// Its session description.
+        sdp: SessionDescription,
+    },
+    /// SDK usage report used for billing (§IV-B: providers charge on
+    /// reported P2P traffic).
+    StatsReport {
+        /// Bytes uploaded to peers since the last report.
+        p2p_up_bytes: u64,
+        /// Bytes downloaded from peers since the last report.
+        p2p_down_bytes: u64,
+    },
+    /// §V-B defense: a reporter peer submits integrity metadata for a
+    /// segment it fetched from the CDN.
+    ImReport {
+        /// Video.
+        video: String,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence.
+        seq: u64,
+        /// Hex SHA-256 of (content ‖ video ‖ position).
+        im: String,
+    },
+    /// §V-B defense: the server broadcasts signed integrity metadata.
+    SimBroadcast {
+        /// Video.
+        video: String,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence.
+        seq: u64,
+        /// Hex IM.
+        im: String,
+        /// Hex HMAC signature by the PDN server.
+        sig: String,
+    },
+    /// The server expelled a peer (fake IM reports, §V-B blacklist).
+    Blacklisted {
+        /// Reason string.
+        reason: String,
+    },
+    /// Peer leaves the swarm (tab closed / churn).
+    Leave,
+}
+
+impl SignalMsg {
+    /// Encodes into a TLS-marked signaling frame.
+    pub fn encode(&self) -> Bytes {
+        let json = serde_json::to_vec(self).expect("signal messages serialize");
+        let mut out = BytesMut::with_capacity(4 + json.len());
+        out.put_slice(TLS_MARKER);
+        out.put_slice(&json);
+        out.freeze()
+    }
+
+    /// Decodes a TLS-marked signaling frame.
+    pub fn decode(frame: &[u8]) -> Option<SignalMsg> {
+        let body = frame.strip_prefix(TLS_MARKER.as_slice())?;
+        serde_json::from_slice(body).ok()
+    }
+
+    /// Whether `frame` is a signaling frame (without decoding it) — what a
+    /// passive sniffer can tell.
+    pub fn is_signaling(frame: &[u8]) -> bool {
+        frame.starts_with(TLS_MARKER)
+    }
+}
+
+/// HTTP-plane requests (peer → CDN).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpRequest {
+    /// Fetch the master playlist of a video.
+    GetMaster {
+        /// Video.
+        video: VideoId,
+    },
+    /// Fetch a media playlist window.
+    GetPlaylist {
+        /// Video.
+        video: VideoId,
+        /// Rendition.
+        rendition: u8,
+        /// First sequence (inclusive).
+        from: u64,
+        /// Last sequence (exclusive).
+        to: u64,
+    },
+    /// Fetch one segment.
+    GetSegment {
+        /// Video.
+        video: VideoId,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence.
+        seq: u64,
+    },
+}
+
+/// HTTP-plane responses (CDN → peer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HttpResponse {
+    /// Playlist text (master or media).
+    Playlist {
+        /// M3U8 text.
+        text: String,
+    },
+    /// Segment bytes.
+    Segment {
+        /// Video.
+        video: VideoId,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence.
+        seq: u64,
+        /// Play duration in milliseconds.
+        duration_ms: u32,
+        /// Media payload.
+        data: Bytes,
+    },
+    /// 404.
+    NotFound,
+}
+
+fn put_str(out: &mut BytesMut, s: &str) {
+    out.put_u16(s.len() as u16);
+    out.put_slice(s.as_bytes());
+}
+
+fn take_str(data: &[u8], off: &mut usize) -> Option<String> {
+    if *off + 2 > data.len() {
+        return None;
+    }
+    let len = u16::from_be_bytes([data[*off], data[*off + 1]]) as usize;
+    *off += 2;
+    if *off + len > data.len() {
+        return None;
+    }
+    let s = String::from_utf8(data[*off..*off + len].to_vec()).ok()?;
+    *off += len;
+    Some(s)
+}
+
+fn take_u64(data: &[u8], off: &mut usize) -> Option<u64> {
+    if *off + 8 > data.len() {
+        return None;
+    }
+    let v = u64::from_be_bytes(data[*off..*off + 8].try_into().ok()?);
+    *off += 8;
+    Some(v)
+}
+
+fn take_u32(data: &[u8], off: &mut usize) -> Option<u32> {
+    if *off + 4 > data.len() {
+        return None;
+    }
+    let v = u32::from_be_bytes(data[*off..*off + 4].try_into().ok()?);
+    *off += 4;
+    Some(v)
+}
+
+fn take_u8(data: &[u8], off: &mut usize) -> Option<u8> {
+    let v = *data.get(*off)?;
+    *off += 1;
+    Some(v)
+}
+
+impl HttpRequest {
+    /// Encodes into an HTTP-marked frame.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_slice(HTTP_MARKER);
+        match self {
+            HttpRequest::GetMaster { video } => {
+                out.put_u8(1);
+                put_str(&mut out, &video.0);
+            }
+            HttpRequest::GetPlaylist {
+                video,
+                rendition,
+                from,
+                to,
+            } => {
+                out.put_u8(2);
+                put_str(&mut out, &video.0);
+                out.put_u8(*rendition);
+                out.put_u64(*from);
+                out.put_u64(*to);
+            }
+            HttpRequest::GetSegment {
+                video,
+                rendition,
+                seq,
+            } => {
+                out.put_u8(3);
+                put_str(&mut out, &video.0);
+                out.put_u8(*rendition);
+                out.put_u64(*seq);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Decodes an HTTP-marked request frame.
+    pub fn decode(frame: &[u8]) -> Option<HttpRequest> {
+        let body = frame.strip_prefix(HTTP_MARKER.as_slice())?;
+        let mut off = 0usize;
+        match take_u8(body, &mut off)? {
+            1 => Some(HttpRequest::GetMaster {
+                video: VideoId::new(take_str(body, &mut off)?),
+            }),
+            2 => Some(HttpRequest::GetPlaylist {
+                video: VideoId::new(take_str(body, &mut off)?),
+                rendition: take_u8(body, &mut off)?,
+                from: take_u64(body, &mut off)?,
+                to: take_u64(body, &mut off)?,
+            }),
+            3 => Some(HttpRequest::GetSegment {
+                video: VideoId::new(take_str(body, &mut off)?),
+                rendition: take_u8(body, &mut off)?,
+                seq: take_u64(body, &mut off)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl HttpResponse {
+    /// Encodes into an HTTP-marked frame.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        out.put_slice(HTTP_MARKER);
+        match self {
+            HttpResponse::Playlist { text } => {
+                out.put_u8(101);
+                out.put_u32(text.len() as u32);
+                out.put_slice(text.as_bytes());
+            }
+            HttpResponse::Segment {
+                video,
+                rendition,
+                seq,
+                duration_ms,
+                data,
+            } => {
+                out.put_u8(102);
+                put_str(&mut out, &video.0);
+                out.put_u8(*rendition);
+                out.put_u64(*seq);
+                out.put_u32(*duration_ms);
+                out.put_u32(data.len() as u32);
+                out.put_slice(data);
+            }
+            HttpResponse::NotFound => {
+                out.put_u8(104);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Decodes an HTTP-marked response frame.
+    pub fn decode(frame: &[u8]) -> Option<HttpResponse> {
+        let body = frame.strip_prefix(HTTP_MARKER.as_slice())?;
+        let mut off = 0usize;
+        match take_u8(body, &mut off)? {
+            101 => {
+                let len = take_u32(body, &mut off)? as usize;
+                if off + len > body.len() {
+                    return None;
+                }
+                let text = String::from_utf8(body[off..off + len].to_vec()).ok()?;
+                Some(HttpResponse::Playlist { text })
+            }
+            102 => {
+                let video = VideoId::new(take_str(body, &mut off)?);
+                let rendition = take_u8(body, &mut off)?;
+                let seq = take_u64(body, &mut off)?;
+                let duration_ms = take_u32(body, &mut off)?;
+                let len = take_u32(body, &mut off)? as usize;
+                if off + len > body.len() {
+                    return None;
+                }
+                Some(HttpResponse::Segment {
+                    video,
+                    rendition,
+                    seq,
+                    duration_ms,
+                    data: Bytes::copy_from_slice(&body[off..off + len]),
+                })
+            }
+            104 => Some(HttpResponse::NotFound),
+            _ => None,
+        }
+    }
+}
+
+/// Peer-to-peer messages carried inside DTLS data-channel records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum P2pMsg {
+    /// Advertise possession of segments.
+    Have {
+        /// Video.
+        video: VideoId,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence numbers held.
+        seqs: Vec<u64>,
+    },
+    /// Request one segment.
+    RequestSegment {
+        /// Video.
+        video: VideoId,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence.
+        seq: u64,
+    },
+    /// Deliver one segment, optionally with its signed integrity metadata
+    /// (the §V-B defense).
+    SegmentData {
+        /// Video.
+        video: VideoId,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence.
+        seq: u64,
+        /// Play duration in milliseconds.
+        duration_ms: u32,
+        /// Media payload.
+        data: Bytes,
+        /// `(im, server_sig)` if SIM is attached.
+        sim: Option<([u8; 32], [u8; 32])>,
+    },
+}
+
+impl P2pMsg {
+    /// Encodes to channel-message bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        match self {
+            P2pMsg::Have {
+                video,
+                rendition,
+                seqs,
+            } => {
+                out.put_u8(1);
+                put_str(&mut out, &video.0);
+                out.put_u8(*rendition);
+                out.put_u32(seqs.len() as u32);
+                for s in seqs {
+                    out.put_u64(*s);
+                }
+            }
+            P2pMsg::RequestSegment {
+                video,
+                rendition,
+                seq,
+            } => {
+                out.put_u8(2);
+                put_str(&mut out, &video.0);
+                out.put_u8(*rendition);
+                out.put_u64(*seq);
+            }
+            P2pMsg::SegmentData {
+                video,
+                rendition,
+                seq,
+                duration_ms,
+                data,
+                sim,
+            } => {
+                out.put_u8(3);
+                put_str(&mut out, &video.0);
+                out.put_u8(*rendition);
+                out.put_u64(*seq);
+                out.put_u32(*duration_ms);
+                match sim {
+                    Some((im, sig)) => {
+                        out.put_u8(1);
+                        out.put_slice(im);
+                        out.put_slice(sig);
+                    }
+                    None => out.put_u8(0),
+                }
+                out.put_u32(data.len() as u32);
+                out.put_slice(data);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Decodes channel-message bytes.
+    pub fn decode(body: &[u8]) -> Option<P2pMsg> {
+        let mut off = 0usize;
+        match take_u8(body, &mut off)? {
+            1 => {
+                let video = VideoId::new(take_str(body, &mut off)?);
+                let rendition = take_u8(body, &mut off)?;
+                let n = take_u32(body, &mut off)? as usize;
+                let mut seqs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    seqs.push(take_u64(body, &mut off)?);
+                }
+                Some(P2pMsg::Have {
+                    video,
+                    rendition,
+                    seqs,
+                })
+            }
+            2 => Some(P2pMsg::RequestSegment {
+                video: VideoId::new(take_str(body, &mut off)?),
+                rendition: take_u8(body, &mut off)?,
+                seq: take_u64(body, &mut off)?,
+            }),
+            3 => {
+                let video = VideoId::new(take_str(body, &mut off)?);
+                let rendition = take_u8(body, &mut off)?;
+                let seq = take_u64(body, &mut off)?;
+                let duration_ms = take_u32(body, &mut off)?;
+                let sim = match take_u8(body, &mut off)? {
+                    1 => {
+                        if off + 64 > body.len() {
+                            return None;
+                        }
+                        let im: [u8; 32] = body[off..off + 32].try_into().ok()?;
+                        let sig: [u8; 32] = body[off + 32..off + 64].try_into().ok()?;
+                        off += 64;
+                        Some((im, sig))
+                    }
+                    0 => None,
+                    _ => return None,
+                };
+                let len = take_u32(body, &mut off)? as usize;
+                if off + len > body.len() {
+                    return None;
+                }
+                Some(P2pMsg::SegmentData {
+                    video,
+                    rendition,
+                    seq,
+                    duration_ms,
+                    data: Bytes::copy_from_slice(&body[off..off + len]),
+                    sim,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn http_request_roundtrip(video in "[a-zA-Z0-9:/._-]{1,60}", rendition in any::<u8>(), seq in any::<u64>()) {
+            let r = HttpRequest::GetSegment { video: VideoId::new(video), rendition, seq };
+            prop_assert_eq!(HttpRequest::decode(&r.encode()), Some(r));
+        }
+
+        #[test]
+        fn segment_response_roundtrip(
+            video in "[a-zA-Z0-9:/._-]{1,60}",
+            rendition in any::<u8>(),
+            seq in any::<u64>(),
+            duration_ms in any::<u32>(),
+            data in proptest::collection::vec(any::<u8>(), 0..4096),
+        ) {
+            let r = HttpResponse::Segment {
+                video: VideoId::new(video), rendition, seq, duration_ms,
+                data: Bytes::from(data),
+            };
+            prop_assert_eq!(HttpResponse::decode(&r.encode()), Some(r));
+        }
+
+        #[test]
+        fn p2p_roundtrip(
+            video in "[a-zA-Z0-9:/._-]{1,60}",
+            rendition in any::<u8>(),
+            seqs in proptest::collection::vec(any::<u64>(), 0..200),
+            with_sim in any::<bool>(),
+            data in proptest::collection::vec(any::<u8>(), 0..4096),
+        ) {
+            let have = P2pMsg::Have { video: VideoId::new(video.clone()), rendition, seqs };
+            prop_assert_eq!(P2pMsg::decode(&have.encode()), Some(have));
+            let seg = P2pMsg::SegmentData {
+                video: VideoId::new(video), rendition, seq: 9, duration_ms: 4000,
+                data: Bytes::from(data),
+                sim: with_sim.then_some(([1u8; 32], [2u8; 32])),
+            };
+            prop_assert_eq!(P2pMsg::decode(&seg.encode()), Some(seg));
+        }
+
+        /// Arbitrary byte garbage never panics any decoder.
+        #[test]
+        fn decoders_are_total(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = SignalMsg::decode(&garbage);
+            let _ = HttpRequest::decode(&garbage);
+            let _ = HttpResponse::decode(&garbage);
+            let _ = P2pMsg::decode(&garbage);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_roundtrip_and_marker() {
+        let msg = SignalMsg::StatsReport {
+            p2p_up_bytes: 123,
+            p2p_down_bytes: 456,
+        };
+        let frame = msg.encode();
+        assert!(SignalMsg::is_signaling(&frame));
+        assert_eq!(SignalMsg::decode(&frame), Some(msg));
+        assert!(SignalMsg::decode(b"not a frame").is_none());
+    }
+
+    #[test]
+    fn http_request_roundtrips() {
+        let reqs = [
+            HttpRequest::GetMaster {
+                video: VideoId::new("v.m3u8"),
+            },
+            HttpRequest::GetPlaylist {
+                video: VideoId::new("v.m3u8"),
+                rendition: 2,
+                from: 5,
+                to: 10,
+            },
+            HttpRequest::GetSegment {
+                video: VideoId::new("v.m3u8"),
+                rendition: 1,
+                seq: 42,
+            },
+        ];
+        for r in reqs {
+            assert_eq!(HttpRequest::decode(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn http_response_roundtrips() {
+        let resps = [
+            HttpResponse::Playlist {
+                text: "#EXTM3U\n".into(),
+            },
+            HttpResponse::Segment {
+                video: VideoId::new("v"),
+                rendition: 0,
+                seq: 7,
+                duration_ms: 10_000,
+                data: Bytes::from_static(b"\x47media"),
+            },
+            HttpResponse::NotFound,
+        ];
+        for r in resps {
+            assert_eq!(HttpResponse::decode(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn p2p_roundtrips() {
+        let msgs = [
+            P2pMsg::Have {
+                video: VideoId::new("v"),
+                rendition: 0,
+                seqs: vec![1, 2, 3],
+            },
+            P2pMsg::RequestSegment {
+                video: VideoId::new("v"),
+                rendition: 0,
+                seq: 9,
+            },
+            P2pMsg::SegmentData {
+                video: VideoId::new("v"),
+                rendition: 0,
+                seq: 9,
+                duration_ms: 4000,
+                data: Bytes::from_static(b"\x47data"),
+                sim: None,
+            },
+            P2pMsg::SegmentData {
+                video: VideoId::new("v"),
+                rendition: 0,
+                seq: 9,
+                duration_ms: 4000,
+                data: Bytes::from_static(b"\x47data"),
+                sim: Some(([1u8; 32], [2u8; 32])),
+            },
+        ];
+        for m in msgs {
+            assert_eq!(P2pMsg::decode(&m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let m = P2pMsg::SegmentData {
+            video: VideoId::new("v"),
+            rendition: 0,
+            seq: 9,
+            duration_ms: 4000,
+            data: Bytes::from_static(b"payload-bytes"),
+            sim: None,
+        };
+        let enc = m.encode();
+        for cut in [1, 5, 10, enc.len() - 1] {
+            assert!(P2pMsg::decode(&enc[..cut]).is_none(), "cut at {cut}");
+        }
+        assert!(HttpRequest::decode(&HttpRequest::GetMaster { video: VideoId::new("v") }.encode()[..5]).is_none());
+    }
+
+    #[test]
+    fn signaling_is_opaque_without_marker_knowledge() {
+        // A passive sniffer classifies but cannot confuse planes.
+        let sig = SignalMsg::StatsReport { p2p_up_bytes: 0, p2p_down_bytes: 0 }.encode();
+        let http = HttpRequest::GetMaster { video: VideoId::new("v") }.encode();
+        assert!(SignalMsg::is_signaling(&sig));
+        assert!(!SignalMsg::is_signaling(&http));
+        assert!(HttpRequest::decode(&sig).is_none());
+    }
+}

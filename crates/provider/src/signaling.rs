@@ -1,0 +1,953 @@
+//! The PDN signaling server (tracker).
+//!
+//! This is the "trusted 3rd party" that distinguishes PDN from classic
+//! P2P-CDNs (§III-A): it authenticates joins, groups viewers into swarms by
+//! the video (and manifest) they watch, introduces neighbors, meters usage
+//! for billing — and, in hardened configurations, runs the §V-B
+//! peer-assisted integrity checking with conflict resolution and a peer
+//! blacklist, and the §V-C geo-constrained peer matching.
+
+use std::collections::{HashMap, HashSet};
+
+use pdn_crypto::hmac::hmac_sha256;
+use pdn_media::{OriginServer, SegmentId, VideoId};
+use pdn_simnet::{Addr, GeoIpService, SimRng, SimTime};
+
+use crate::auth::{AccountRegistry, AuthError, TokenValidator};
+use crate::billing::UsageMeter;
+use crate::profiles::{AuthScheme, ProviderProfile};
+use crate::proto::SignalMsg;
+
+/// How the server picks neighbor candidates (§V-C mitigation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum MatchingPolicy {
+    /// Introduce any swarm member (the measured default — maximal leak).
+    Global,
+    /// Only members whose public IP geolocates to the same country.
+    SameCountry,
+    /// Only members on the same ISP.
+    SameIsp,
+}
+
+/// A member of a swarm as the server sees it.
+#[derive(Debug, Clone)]
+struct Member {
+    peer_id: u64,
+    addr: Addr,
+    sdp: pdn_webrtc::SessionDescription,
+    country: Option<String>,
+    isp: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SwarmKey {
+    video: String,
+    manifest_hash: String,
+}
+
+#[derive(Debug)]
+struct PeerInfo {
+    addr: Addr,
+    customer_id: String,
+    last_seen: SimTime,
+}
+
+/// State of integrity metadata for one segment (§V-B).
+#[derive(Debug, Default)]
+struct ImEntry {
+    /// im -> reporting peer IDs
+    reports: HashMap<[u8; 32], Vec<u64>>,
+    /// Signed authentic IM, once established.
+    sim: Option<([u8; 32], [u8; 32])>,
+}
+
+/// Counters describing server-side defense activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct DefenseStats {
+    /// IM conflicts detected.
+    pub im_conflicts: u64,
+    /// Authoritative CDN refetches performed to resolve conflicts.
+    pub cdn_refetches: u64,
+    /// Bytes refetched from the CDN (the attacker-inflicted overhead).
+    pub cdn_refetch_bytes: u64,
+    /// Peers blacklisted for reporting fake IMs.
+    pub blacklisted_peers: u64,
+    /// SIMs issued.
+    pub sims_issued: u64,
+}
+
+/// The PDN signaling server. See the [module docs](self).
+pub struct SignalingServer {
+    profile: ProviderProfile,
+    accounts: AccountRegistry,
+    token_validator: Option<TokenValidator>,
+    /// Temp tokens (private profiles): token -> optional bound video.
+    temp_tokens: HashMap<String, Option<VideoId>>,
+    /// Private platforms only accept registered video sources (the DRM-ish
+    /// gate that blocked the Mango TV pollution test, §IV-C).
+    registered_sources: Option<HashSet<String>>,
+    matching: MatchingPolicy,
+    max_neighbors: usize,
+    swarms: HashMap<SwarmKey, Vec<Member>>,
+    peers: HashMap<u64, PeerInfo>,
+    meters: HashMap<String, UsageMeter>,
+    next_peer_id: u64,
+    // §V-B defense state
+    im_reporters: usize,
+    im_state: HashMap<(String, u8, u64), ImEntry>,
+    blacklist: HashSet<u64>,
+    blacklist_addrs: HashSet<Addr>,
+    sim_key: Vec<u8>,
+    origin: Option<OriginServer>,
+    defense_stats: DefenseStats,
+    rng: SimRng,
+}
+
+impl std::fmt::Debug for SignalingServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SignalingServer")
+            .field("provider", &self.profile.name)
+            .field("swarms", &self.swarms.len())
+            .field("peers", &self.peers.len())
+            .finish()
+    }
+}
+
+impl SignalingServer {
+    /// Creates a server for `profile`.
+    pub fn new(profile: ProviderProfile, seed: u64) -> Self {
+        let token_validator = matches!(profile.auth, AuthScheme::DisposableJwt)
+            .then(|| TokenValidator::new(b"pdn-provider-jwt-key".to_vec()));
+        SignalingServer {
+            profile,
+            accounts: AccountRegistry::new(),
+            token_validator,
+            temp_tokens: HashMap::new(),
+            registered_sources: None,
+            matching: MatchingPolicy::Global,
+            max_neighbors: 4,
+            swarms: HashMap::new(),
+            peers: HashMap::new(),
+            meters: HashMap::new(),
+            next_peer_id: 1,
+            im_reporters: 3,
+            im_state: HashMap::new(),
+            blacklist: HashSet::new(),
+            blacklist_addrs: HashSet::new(),
+            sim_key: b"pdn-server-sim-key".to_vec(),
+            origin: None,
+            defense_stats: DefenseStats::default(),
+            rng: SimRng::seed(seed ^ 0x51_6e_a1),
+        }
+    }
+
+    /// The provider profile this server runs.
+    pub fn profile(&self) -> &ProviderProfile {
+        &self.profile
+    }
+
+    /// Customer account registry (register victims and attackers here).
+    pub fn accounts_mut(&mut self) -> &mut AccountRegistry {
+        &mut self.accounts
+    }
+
+    /// Read access to accounts.
+    pub fn accounts(&self) -> &AccountRegistry {
+        &self.accounts
+    }
+
+    /// Sets the neighbor matching policy (§V-C).
+    pub fn set_matching(&mut self, policy: MatchingPolicy) {
+        self.matching = policy;
+    }
+
+    /// Sets the number of IM reporters per segment (§V-B parameter).
+    pub fn set_im_reporters(&mut self, k: usize) {
+        self.im_reporters = k.max(1);
+    }
+
+    /// Sets the maximum neighbors introduced per join.
+    pub fn set_max_neighbors(&mut self, n: usize) {
+        self.max_neighbors = n;
+    }
+
+    /// Gives the server CDN origin access for IM conflict resolution.
+    pub fn attach_origin(&mut self, origin: OriginServer) {
+        self.origin = Some(origin);
+    }
+
+    /// Restricts joins to registered video sources (private platforms).
+    pub fn set_registered_sources(&mut self, sources: impl IntoIterator<Item = String>) {
+        self.registered_sources = Some(sources.into_iter().collect());
+    }
+
+    /// Mints a temporary token (private profiles). Bound to `video` when
+    /// the profile says so.
+    pub fn mint_temp_token(&mut self, video: Option<VideoId>) -> String {
+        let token = format!("tt-{:016x}", self.rng.next_u64());
+        let bound = match self.profile.auth {
+            AuthScheme::TempToken { video_bound: true } => video,
+            _ => None,
+        };
+        self.temp_tokens.insert(token.clone(), bound);
+        token
+    }
+
+    /// The JWT signing key (for customer servers minting §V-A tokens).
+    pub fn jwt_key(&self) -> &[u8] {
+        b"pdn-provider-jwt-key"
+    }
+
+    /// Usage meter of a customer (free-riding evidence).
+    pub fn meter(&self, customer_id: &str) -> UsageMeter {
+        self.meters.get(customer_id).copied().unwrap_or_default()
+    }
+
+    /// Defense activity counters.
+    pub fn defense_stats(&self) -> DefenseStats {
+        self.defense_stats
+    }
+
+    /// Whether `peer_id` is blacklisted.
+    pub fn is_blacklisted(&self, peer_id: u64) -> bool {
+        self.blacklist.contains(&peer_id)
+    }
+
+    /// Number of live peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// All wire addresses the server has seen join (what the *server*
+    /// knows; peers individually see only their neighbors).
+    pub fn known_peer_addrs(&self) -> Vec<Addr> {
+        self.peers.values().map(|p| p.addr).collect()
+    }
+
+    /// Handles one signaling message; returns `(destination, reply)` pairs.
+    pub fn handle(
+        &mut self,
+        from: Addr,
+        msg: SignalMsg,
+        now: SimTime,
+        geoip: &GeoIpService,
+    ) -> Vec<(Addr, SignalMsg)> {
+        match msg {
+            SignalMsg::Join {
+                api_key,
+                token,
+                origin,
+                video,
+                manifest_hash,
+                sdp,
+            } => self.on_join(from, api_key, token, origin, video, manifest_hash, sdp, now, geoip),
+            SignalMsg::StatsReport {
+                p2p_up_bytes,
+                p2p_down_bytes,
+            } => {
+                self.on_stats(from, p2p_up_bytes, p2p_down_bytes, now);
+                Vec::new()
+            }
+            SignalMsg::ImReport {
+                video,
+                rendition,
+                seq,
+                im,
+            } => self.on_im_report(from, video, rendition, seq, im),
+            SignalMsg::Leave => {
+                self.remove_peer_by_addr(from, now);
+                Vec::new()
+            }
+            // Server-originated messages arriving at the server are ignored.
+            _ => Vec::new(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_join(
+        &mut self,
+        from: Addr,
+        api_key: Option<String>,
+        token: Option<String>,
+        origin: String,
+        video: String,
+        manifest_hash: String,
+        sdp: pdn_webrtc::SessionDescription,
+        now: SimTime,
+        geoip: &GeoIpService,
+    ) -> Vec<(Addr, SignalMsg)> {
+        let deny = |reason: String| vec![(from, SignalMsg::JoinDenied { reason })];
+
+        // §V-B: peer identity binds to the transport address so expelled
+        // peers cannot simply rejoin.
+        if self.blacklist_addrs.contains(&from) {
+            return deny("peer is blacklisted".into());
+        }
+
+        // Private platforms: only registered video sources participate.
+        if let Some(reg) = &self.registered_sources {
+            if !reg.contains(&video) {
+                return deny("video source not registered".into());
+            }
+        }
+
+        let customer_id = match self.authenticate(&api_key, &token, &origin, &video, now) {
+            Ok(id) => id,
+            Err(e) => return deny(e.to_string()),
+        };
+
+        let peer_id = self.next_peer_id;
+        self.next_peer_id += 1;
+
+        let geo = geoip.lookup(from.ip);
+        let member = Member {
+            peer_id,
+            addr: from,
+            sdp: sdp.clone(),
+            country: geo.map(|g| g.country.clone()),
+            isp: geo.map(|g| g.isp.clone()),
+        };
+
+        let key = SwarmKey {
+            video: video.clone(),
+            manifest_hash,
+        };
+        let swarm = self.swarms.entry(key).or_default();
+
+        // Candidate neighbors under the matching policy.
+        let mut candidates: Vec<&Member> = swarm
+            .iter()
+            .filter(|m| !self.blacklist.contains(&m.peer_id))
+            .filter(|m| match self.matching {
+                MatchingPolicy::Global => true,
+                MatchingPolicy::SameCountry => m.country.is_some() && m.country == member.country,
+                MatchingPolicy::SameIsp => m.isp.is_some() && m.isp == member.isp,
+            })
+            .collect();
+        // Youngest members first keeps the mesh connected without hubs.
+        candidates.reverse();
+        candidates.truncate(self.max_neighbors);
+        let neighbors: Vec<(u64, pdn_webrtc::SessionDescription)> = candidates
+            .iter()
+            .map(|m| (m.peer_id, m.sdp.clone()))
+            .collect();
+        let notify: Vec<Addr> = candidates.iter().map(|m| m.addr).collect();
+
+        swarm.push(member);
+        self.peers.insert(
+            peer_id,
+            PeerInfo {
+                addr: from,
+                customer_id: customer_id.clone(),
+                last_seen: now,
+            },
+        );
+        let meter = self.meters.entry(customer_id).or_default();
+        meter.add_join();
+
+        let mut out = vec![(
+            from,
+            SignalMsg::JoinOk {
+                peer_id,
+                neighbors,
+            },
+        )];
+        for addr in notify {
+            out.push((
+                addr,
+                SignalMsg::PeerJoined {
+                    peer_id,
+                    sdp: sdp.clone(),
+                },
+            ));
+        }
+        out
+    }
+
+    fn authenticate(
+        &mut self,
+        api_key: &Option<String>,
+        token: &Option<String>,
+        origin: &str,
+        video: &str,
+        now: SimTime,
+    ) -> Result<String, AuthError> {
+        match &self.profile.auth {
+            AuthScheme::StaticApiKey | AuthScheme::TenantKey => {
+                let key = api_key.as_deref().ok_or(AuthError::MissingCredentials)?;
+                let account = self.accounts.authenticate_key(key, origin)?;
+                Ok(account.customer_id.clone())
+            }
+            AuthScheme::TempToken { .. } => {
+                let t = token.as_deref().ok_or(AuthError::MissingCredentials)?;
+                match self.temp_tokens.get(t) {
+                    None => Err(AuthError::InvalidToken("unknown temp token".into())),
+                    Some(None) => Ok("platform".into()),
+                    Some(Some(bound)) if bound.0 == video => Ok("platform".into()),
+                    Some(Some(_)) => {
+                        Err(AuthError::InvalidToken("token bound to another video".into()))
+                    }
+                }
+            }
+            AuthScheme::DisposableJwt => {
+                let t = token.as_deref().ok_or(AuthError::MissingCredentials)?;
+                let validator = self
+                    .token_validator
+                    .as_mut()
+                    .expect("validator exists for DisposableJwt");
+                let tok = validator.validate(t, &VideoId::new(video), now)?;
+                Ok(tok.customer_id)
+            }
+        }
+    }
+
+    fn on_stats(&mut self, from: Addr, up: u64, down: u64, now: SimTime) {
+        // Attribute to the peer that joined from this address.
+        let Some((_, info)) = self.peers.iter_mut().find(|(_, p)| p.addr == from) else {
+            return;
+        };
+        let watched = now.saturating_since(info.last_seen);
+        info.last_seen = now;
+        let customer = info.customer_id.clone();
+        let meter = self.meters.entry(customer).or_default();
+        meter.add_p2p_bytes(up + down);
+        meter.add_viewer_time(watched);
+    }
+
+    fn on_im_report(
+        &mut self,
+        from: Addr,
+        video: String,
+        rendition: u8,
+        seq: u64,
+        im_hex: String,
+    ) -> Vec<(Addr, SignalMsg)> {
+        if !self.profile.segment_integrity_check {
+            return Vec::new();
+        }
+        let Some(peer_id) = self
+            .peers
+            .iter()
+            .find(|(_, p)| p.addr == from)
+            .map(|(id, _)| *id)
+        else {
+            return Vec::new();
+        };
+        if self.blacklist.contains(&peer_id) {
+            return Vec::new();
+        }
+        let Some(im) = parse_hex32(&im_hex) else {
+            return Vec::new();
+        };
+
+        let entry = self
+            .im_state
+            .entry((video.clone(), rendition, seq))
+            .or_default();
+        if entry.sim.is_some() {
+            return Vec::new(); // already resolved
+        }
+        entry.reports.entry(im).or_default().push(peer_id);
+
+        let distinct = entry.reports.len();
+        let total_reports: usize = entry.reports.values().map(Vec::len).sum();
+
+        let authentic_im: Option<[u8; 32]> = if distinct > 1 {
+            // Conflict: fetch the authoritative segment from the CDN
+            // (server overhead the attacker inflicts, §V-B).
+            self.defense_stats.im_conflicts += 1;
+            let authentic = self.authentic_im(&video, rendition, seq);
+            if authentic.is_some() {
+                self.defense_stats.cdn_refetches += 1;
+            }
+            authentic
+        } else if total_reports >= self.im_reporters {
+            // Unanimous quorum.
+            Some(im)
+        } else {
+            None
+        };
+
+        let Some(authentic) = authentic_im else {
+            return Vec::new();
+        };
+
+        // Blacklist every peer that reported a different IM.
+        let entry = self
+            .im_state
+            .get_mut(&(video.clone(), rendition, seq))
+            .expect("entry exists");
+        let mut liars = Vec::new();
+        for (reported, reporters) in &entry.reports {
+            if *reported != authentic {
+                liars.extend(reporters.iter().copied());
+            }
+        }
+        liars.sort_unstable();
+        let sig = hmac_sha256(&self.sim_key, &authentic);
+        entry.sim = Some((authentic, sig));
+        self.defense_stats.sims_issued += 1;
+
+        let mut out = Vec::new();
+        for liar in liars {
+            if self.blacklist.insert(liar) {
+                self.defense_stats.blacklisted_peers += 1;
+                if let Some(info) = self.peers.get(&liar) {
+                    self.blacklist_addrs.insert(info.addr);
+                    out.push((
+                        info.addr,
+                        SignalMsg::Blacklisted {
+                            reason: "fake integrity metadata".into(),
+                        },
+                    ));
+                }
+                self.remove_from_swarms(liar);
+            }
+        }
+
+        // Broadcast the SIM to every member of swarms for this video.
+        let sim_msg = SignalMsg::SimBroadcast {
+            video: video.clone(),
+            rendition,
+            seq,
+            im: pdn_crypto::hex(&authentic),
+            sig: pdn_crypto::hex(&sig),
+        };
+        let mut seen = HashSet::new();
+        let mut keys: Vec<&SwarmKey> = self.swarms.keys().filter(|k| k.video == video).collect();
+        keys.sort_by(|a, b| a.manifest_hash.cmp(&b.manifest_hash));
+        for key in keys {
+            for m in &self.swarms[key] {
+                if self.blacklist.contains(&m.peer_id) || !seen.insert(m.peer_id) {
+                    continue;
+                }
+                out.push((m.addr, sim_msg.clone()));
+            }
+        }
+        out
+    }
+
+    /// Verifies a SIM signature (what honest peers do on receipt).
+    pub fn verify_sim(key: &[u8], im: &[u8; 32], sig: &[u8; 32]) -> bool {
+        pdn_crypto::ct_eq(&hmac_sha256(key, im), sig)
+    }
+
+    /// The server's SIM key (shared with peers for verification; in a real
+    /// deployment this would be an asymmetric signature).
+    pub fn sim_key(&self) -> &[u8] {
+        &self.sim_key
+    }
+
+    fn authentic_im(&mut self, video: &str, rendition: u8, seq: u64) -> Option<[u8; 32]> {
+        let origin = self.origin.as_ref()?;
+        let seg = origin.segment(&SegmentId {
+            video: VideoId::new(video),
+            rendition,
+            seq,
+        })?;
+        self.defense_stats.cdn_refetch_bytes += seg.len() as u64;
+        Some(compute_im(&seg.data, video, rendition, seq))
+    }
+
+    /// Removes the peer that joined from `addr`, accruing its watch time.
+    pub fn remove_peer_by_addr(&mut self, addr: Addr, now: SimTime) {
+        let Some(peer_id) = self
+            .peers
+            .iter()
+            .find(|(_, p)| p.addr == addr)
+            .map(|(id, _)| *id)
+        else {
+            return;
+        };
+        if let Some(info) = self.peers.remove(&peer_id) {
+            let watched = now.saturating_since(info.last_seen);
+            self.meters
+                .entry(info.customer_id)
+                .or_default()
+                .add_viewer_time(watched);
+        }
+        self.remove_from_swarms(peer_id);
+    }
+
+    fn remove_from_swarms(&mut self, peer_id: u64) {
+        for members in self.swarms.values_mut() {
+            members.retain(|m| m.peer_id != peer_id);
+        }
+    }
+}
+
+/// Computes integrity metadata for a segment: the hash of the tuple
+/// (content, video identifier, position) — §V-B's replay-resistant IM.
+pub fn compute_im(data: &[u8], video: &str, rendition: u8, seq: u64) -> [u8; 32] {
+    let mut h = pdn_crypto::sha256::Sha256::new();
+    h.update(data);
+    h.update(video.as_bytes());
+    h.update(&[rendition]);
+    h.update(&seq.to_be_bytes());
+    h.finalize()
+}
+
+fn parse_hex32(s: &str) -> Option<[u8; 32]> {
+    if s.len() != 64 {
+        return None;
+    }
+    let mut out = [0u8; 32];
+    for i in 0..32 {
+        out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).ok()?;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::CustomerAccount;
+    use pdn_simnet::{GeoInfo, SimRng};
+    use pdn_webrtc::{Candidate, CandidateKind, Certificate, SessionDescription};
+
+    fn sdp(seed: u64) -> SessionDescription {
+        let mut rng = SimRng::seed(seed);
+        SessionDescription {
+            ice_ufrag: format!("u{seed}"),
+            ice_pwd: format!("p{seed}"),
+            fingerprint: Certificate::generate(&mut rng).fingerprint(),
+            candidates: vec![Candidate::new(
+                CandidateKind::Host,
+                Addr::new(20, 0, 0, seed as u8, 4000),
+            )],
+        }
+    }
+
+    fn join(origin: &str, video: &str, key: &str, seed: u64) -> SignalMsg {
+        SignalMsg::Join {
+            api_key: Some(key.into()),
+            token: None,
+            origin: origin.into(),
+            video: video.into(),
+            manifest_hash: "m0".into(),
+            sdp: sdp(seed),
+        }
+    }
+
+    fn server() -> (SignalingServer, GeoIpService) {
+        let mut s = SignalingServer::new(ProviderProfile::peer5(), 1);
+        s.accounts_mut().register(CustomerAccount::new(
+            "victim",
+            "key-victim",
+            ["victim.tv".to_string()],
+        ));
+        (s, GeoIpService::new())
+    }
+
+    fn addr(d: u8) -> Addr {
+        Addr::new(40, 0, 0, d, 6000)
+    }
+
+    #[test]
+    fn join_and_neighbor_introduction() {
+        let (mut s, geo) = server();
+        let replies = s.handle(addr(1), join("victim.tv", "v", "key-victim", 1), SimTime::ZERO, &geo);
+        assert!(matches!(
+            replies[..],
+            [(_, SignalMsg::JoinOk { peer_id: 1, ref neighbors })] if neighbors.is_empty()
+        ));
+        let replies = s.handle(addr(2), join("victim.tv", "v", "key-victim", 2), SimTime::ZERO, &geo);
+        // Second peer gets the first as a neighbor, first gets PeerJoined.
+        assert_eq!(replies.len(), 2);
+        assert!(matches!(
+            &replies[0],
+            (a, SignalMsg::JoinOk { neighbors, .. }) if *a == addr(2) && neighbors.len() == 1
+        ));
+        assert!(matches!(
+            &replies[1],
+            (a, SignalMsg::PeerJoined { .. }) if *a == addr(1)
+        ));
+    }
+
+    #[test]
+    fn cross_domain_join_accepted_by_default() {
+        // Peer5 default: no allowlist — the free-riding vulnerability.
+        let (mut s, geo) = server();
+        let replies = s.handle(
+            addr(9),
+            join("attacker.example", "v", "key-victim", 9),
+            SimTime::ZERO,
+            &geo,
+        );
+        assert!(matches!(replies[..], [(_, SignalMsg::JoinOk { .. })]));
+        assert_eq!(s.meter("victim").joins, 1, "the victim is billed");
+    }
+
+    #[test]
+    fn allowlist_blocks_but_spoofed_origin_passes() {
+        let (mut s, geo) = server();
+        s.accounts_mut().by_key_mut("key-victim").unwrap().allowlist_enabled = true;
+        let denied = s.handle(
+            addr(9),
+            join("attacker.example", "v", "key-victim", 9),
+            SimTime::ZERO,
+            &geo,
+        );
+        assert!(matches!(denied[..], [(_, SignalMsg::JoinDenied { .. })]));
+        // The domain-spoofing attack: proxy rewrote the Origin header.
+        let spoofed = s.handle(
+            addr(9),
+            join("victim.tv", "v", "key-victim", 9),
+            SimTime::ZERO,
+            &geo,
+        );
+        assert!(matches!(spoofed[..], [(_, SignalMsg::JoinOk { .. })]));
+    }
+
+    #[test]
+    fn different_manifest_hash_isolates_swarms() {
+        // The slow-start/manifest consistency that defeats *direct*
+        // pollution: a peer with a doctored manifest never meets victims.
+        let (mut s, geo) = server();
+        s.handle(addr(1), join("victim.tv", "v", "key-victim", 1), SimTime::ZERO, &geo);
+        let mut msg = join("victim.tv", "v", "key-victim", 2);
+        if let SignalMsg::Join { manifest_hash, .. } = &mut msg {
+            *manifest_hash = "DOCTORED".into();
+        }
+        let replies = s.handle(addr(2), msg, SimTime::ZERO, &geo);
+        assert!(matches!(
+            &replies[..],
+            [(_, SignalMsg::JoinOk { neighbors, .. })] if neighbors.is_empty()
+        ));
+    }
+
+    #[test]
+    fn stats_reports_bill_the_key_owner() {
+        let (mut s, geo) = server();
+        s.handle(addr(1), join("x", "v", "key-victim", 1), SimTime::ZERO, &geo);
+        s.handle(
+            addr(1),
+            SignalMsg::StatsReport {
+                p2p_up_bytes: 1_000_000,
+                p2p_down_bytes: 2_000_000,
+            },
+            SimTime::from_secs(60),
+            &geo,
+        );
+        let m = s.meter("victim");
+        assert_eq!(m.p2p_bytes, 3_000_000);
+        assert_eq!(m.viewer_seconds, 60);
+    }
+
+    #[test]
+    fn same_country_matching_filters_neighbors() {
+        let mut s = SignalingServer::new(ProviderProfile::peer5(), 1);
+        s.accounts_mut()
+            .register(CustomerAccount::new("c", "k", []));
+        s.set_matching(MatchingPolicy::SameCountry);
+        let mut geo = GeoIpService::new();
+        let cn = geo.allocate(&GeoInfo::new("CN", 1, "AS4134"));
+        let us = geo.allocate(&GeoInfo::new("US", 1, "AS7922"));
+        let cn2 = geo.allocate(&GeoInfo::new("CN", 2, "AS4135"));
+        let a_cn = Addr::from_ip(cn, 1);
+        let a_us = Addr::from_ip(us, 1);
+        let a_cn2 = Addr::from_ip(cn2, 1);
+        s.handle(a_cn, join("x", "v", "k", 1), SimTime::ZERO, &geo);
+        // US viewer sees no CN neighbor.
+        let r = s.handle(a_us, join("x", "v", "k", 2), SimTime::ZERO, &geo);
+        assert!(matches!(
+            &r[..],
+            [(_, SignalMsg::JoinOk { neighbors, .. })] if neighbors.is_empty()
+        ));
+        // Another CN viewer is introduced to the first.
+        let r = s.handle(a_cn2, join("x", "v", "k", 3), SimTime::ZERO, &geo);
+        assert!(matches!(
+            &r[..],
+            [(_, SignalMsg::JoinOk { neighbors, .. }), _] if neighbors.len() == 1
+        ));
+    }
+
+    fn hardened_server_with_origin() -> (SignalingServer, GeoIpService, pdn_media::VideoSource) {
+        let profile = ProviderProfile::hardened(&ProviderProfile::peer5());
+        // Use static keys for join simplicity: rebuild with integrity only.
+        let mut profile = profile;
+        profile.auth = AuthScheme::StaticApiKey;
+        let mut s = SignalingServer::new(profile, 7);
+        s.accounts_mut().register(CustomerAccount::new("c", "k", []));
+        s.set_im_reporters(2);
+        let src = pdn_media::VideoSource::vod(
+            "v",
+            vec![400_000],
+            std::time::Duration::from_secs(4),
+            10,
+        );
+        let mut origin = OriginServer::new();
+        origin.publish(src.clone());
+        s.attach_origin(origin);
+        (s, GeoIpService::new(), src)
+    }
+
+    #[test]
+    fn unanimous_im_reports_yield_sim() {
+        let (mut s, geo, src) = hardened_server_with_origin();
+        s.handle(addr(1), join("x", "v", "k", 1), SimTime::ZERO, &geo);
+        s.handle(addr(2), join("x", "v", "k", 2), SimTime::ZERO, &geo);
+        let seg = src.segment(0, 5).unwrap();
+        let im = compute_im(&seg.data, "v", 0, 5);
+        let report = |s: &mut SignalingServer, from: Addr| {
+            s.handle(
+                from,
+                SignalMsg::ImReport {
+                    video: "v".into(),
+                    rendition: 0,
+                    seq: 5,
+                    im: pdn_crypto::hex(&im),
+                },
+                SimTime::ZERO,
+                &geo,
+            )
+        };
+        assert!(report(&mut s, addr(1)).is_empty(), "below quorum: no SIM yet");
+        let out = report(&mut s, addr(2));
+        // Quorum reached: SIM broadcast to both members.
+        let sims = out
+            .iter()
+            .filter(|(_, m)| matches!(m, SignalMsg::SimBroadcast { .. }))
+            .count();
+        assert_eq!(sims, 2);
+        assert_eq!(s.defense_stats().sims_issued, 1);
+        assert_eq!(s.defense_stats().im_conflicts, 0);
+    }
+
+    #[test]
+    fn conflicting_im_blacklists_the_liar() {
+        let (mut s, geo, src) = hardened_server_with_origin();
+        s.handle(addr(1), join("x", "v", "k", 1), SimTime::ZERO, &geo);
+        s.handle(addr(2), join("x", "v", "k", 2), SimTime::ZERO, &geo);
+        let seg = src.segment(0, 5).unwrap();
+        let honest_im = compute_im(&seg.data, "v", 0, 5);
+        let fake_im = [0xeeu8; 32];
+        s.handle(
+            addr(1),
+            SignalMsg::ImReport {
+                video: "v".into(),
+                rendition: 0,
+                seq: 5,
+                im: pdn_crypto::hex(&honest_im),
+            },
+            SimTime::ZERO,
+            &geo,
+        );
+        let out = s.handle(
+            addr(2),
+            SignalMsg::ImReport {
+                video: "v".into(),
+                rendition: 0,
+                seq: 5,
+                im: pdn_crypto::hex(&fake_im),
+            },
+            SimTime::ZERO,
+            &geo,
+        );
+        // Conflict: server refetched from CDN, blacklisted peer 2, and the
+        // SIM carries the honest IM.
+        let stats = s.defense_stats();
+        assert_eq!(stats.im_conflicts, 1);
+        assert_eq!(stats.cdn_refetches, 1);
+        assert!(stats.cdn_refetch_bytes > 0);
+        assert_eq!(stats.blacklisted_peers, 1);
+        assert!(s.is_blacklisted(2));
+        assert!(out.iter().any(|(a, m)| matches!(m, SignalMsg::Blacklisted { .. }) && *a == addr(2)));
+        let sim_ok = out.iter().any(|(_, m)| {
+            matches!(m, SignalMsg::SimBroadcast { im, .. } if *im == pdn_crypto::hex(&honest_im))
+        });
+        assert!(sim_ok, "broadcast SIM must carry the authentic IM");
+    }
+
+    #[test]
+    fn blacklisted_address_cannot_rejoin() {
+        let (mut s, geo, src) = hardened_server_with_origin();
+        s.handle(addr(1), join("x", "v", "k", 1), SimTime::ZERO, &geo);
+        s.handle(addr(2), join("x", "v", "k", 2), SimTime::ZERO, &geo);
+        let seg = src.segment(0, 5).unwrap();
+        let honest = compute_im(&seg.data, "v", 0, 5);
+        s.handle(
+            addr(1),
+            SignalMsg::ImReport { video: "v".into(), rendition: 0, seq: 5, im: pdn_crypto::hex(&honest) },
+            SimTime::ZERO,
+            &geo,
+        );
+        s.handle(
+            addr(2),
+            SignalMsg::ImReport { video: "v".into(), rendition: 0, seq: 5, im: pdn_crypto::hex(&[9u8; 32]) },
+            SimTime::ZERO,
+            &geo,
+        );
+        assert!(s.is_blacklisted(2));
+        // The expelled address is refused at the door.
+        let r = s.handle(addr(2), join("x", "v", "k", 3), SimTime::from_secs(1), &geo);
+        assert!(matches!(&r[..], [(_, SignalMsg::JoinDenied { reason })] if reason.contains("blacklist")));
+    }
+
+    #[test]
+    fn im_is_position_bound() {
+        // The replay-attack resistance: same content at a different
+        // position yields a different IM.
+        let data = b"segment-bytes";
+        let a = compute_im(data, "v", 0, 1);
+        let b = compute_im(data, "v", 0, 2);
+        let c = compute_im(data, "w", 0, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn temp_token_binding_matters() {
+        // Mango TV-style (unbound): token minted for any video works for
+        // the attacker's own stream — free-ridable.
+        let mut mango = SignalingServer::new(ProviderProfile::private_mango_tv(), 1);
+        let geo = GeoIpService::new();
+        let t = mango.mint_temp_token(Some(VideoId::new("platform-video")));
+        let j = SignalMsg::Join {
+            api_key: None,
+            token: Some(t),
+            origin: "attacker.example".into(),
+            video: "attacker-video".into(),
+            manifest_hash: "m".into(),
+            sdp: sdp(1),
+        };
+        let r = mango.handle(addr(1), j, SimTime::ZERO, &geo);
+        assert!(matches!(r[..], [(_, SignalMsg::JoinOk { .. })]));
+
+        // A bound variant rejects the attacker's video.
+        let mut profile = ProviderProfile::private_mango_tv();
+        profile.auth = AuthScheme::TempToken { video_bound: true };
+        let mut bound = SignalingServer::new(profile, 1);
+        let t = bound.mint_temp_token(Some(VideoId::new("platform-video")));
+        let j = SignalMsg::Join {
+            api_key: None,
+            token: Some(t),
+            origin: "attacker.example".into(),
+            video: "attacker-video".into(),
+            manifest_hash: "m".into(),
+            sdp: sdp(1),
+        };
+        let r = bound.handle(addr(1), j, SimTime::ZERO, &geo);
+        assert!(matches!(r[..], [(_, SignalMsg::JoinDenied { .. })]));
+    }
+
+    #[test]
+    fn registered_sources_gate_private_platforms() {
+        let mut s = SignalingServer::new(ProviderProfile::private_mango_tv(), 1);
+        s.set_registered_sources(["official-video".to_string()]);
+        let geo = GeoIpService::new();
+        let t = s.mint_temp_token(None);
+        let j = SignalMsg::Join {
+            api_key: None,
+            token: Some(t),
+            origin: "x".into(),
+            video: "custom-video".into(),
+            manifest_hash: "m".into(),
+            sdp: sdp(1),
+        };
+        let r = s.handle(addr(1), j, SimTime::ZERO, &geo);
+        assert!(matches!(r[..], [(_, SignalMsg::JoinDenied { .. })]));
+    }
+}

@@ -1,0 +1,272 @@
+//! Geolocation of simulated hosts and an IPinfo-like lookup service.
+//!
+//! The paper geolocates harvested viewer IPs through IPinfo (§IV-D) to
+//! report country/city distributions, and its privacy mitigation (§V-C)
+//! matches candidate peers by country or ISP. [`GeoIpService`] plays the
+//! IPinfo role over the simulator's synthetic address plan: each country is
+//! assigned IP blocks, and lookups recover the registration.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use crate::addr::IpClass;
+use crate::rng::SimRng;
+
+/// ISO-3166-ish country code (e.g. `"US"`, `"CN"`).
+pub type CountryCode = &'static str;
+
+/// Continent groups used for the latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Continent {
+    /// North + South America.
+    America,
+    /// Europe (incl. Russia west).
+    Europe,
+    /// Asia-Pacific.
+    Asia,
+    /// Everything else / unknown.
+    Other,
+}
+
+/// Maps a country code to its continent group.
+pub fn continent_of(country: &str) -> Continent {
+    match country {
+        "US" | "CA" | "BR" | "AR" | "MX" | "CL" | "CO" | "PE" => Continent::America,
+        "GB" | "FR" | "DE" | "ES" | "PT" | "IT" | "NL" | "RU" | "PL" | "AT" | "CH" | "SE" => {
+            Continent::Europe
+        }
+        "CN" | "JP" | "KR" | "IN" | "BD" | "ID" | "VN" | "TH" | "MM" | "PK" | "PH" | "AU" => {
+            Continent::Asia
+        }
+        _ => Continent::Other,
+    }
+}
+
+/// Geographic + network registration of a host.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct GeoInfo {
+    /// Country code, e.g. `"CN"`.
+    pub country: String,
+    /// City index within the country (synthetic; distinct values model
+    /// distinct cities for the "259 cities" style statistics).
+    pub city: u16,
+    /// Autonomous-system-like ISP label, e.g. `"AS4134"`.
+    pub isp: String,
+}
+
+impl GeoInfo {
+    /// Creates a registration.
+    pub fn new(country: &str, city: u16, isp: &str) -> Self {
+        GeoInfo {
+            country: country.to_string(),
+            city,
+            isp: isp.to_string(),
+        }
+    }
+}
+
+/// A synthetic regional internet registry: allocates public IPv4 space per
+/// (country, ISP) and answers reverse lookups, like IPinfo in the paper.
+#[derive(Debug, Default)]
+pub struct GeoIpService {
+    // /16 prefix (upper 16 bits of the IP) -> registration
+    blocks: HashMap<u16, GeoInfo>,
+    next_block: u16,
+    // per-block next host counter
+    next_host: HashMap<u16, u16>,
+}
+
+impl GeoIpService {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        GeoIpService {
+            blocks: HashMap::new(),
+            // Start in clearly-public space: 11.0.0.0/8 upward.
+            next_block: 11 << 8,
+            next_host: HashMap::new(),
+        }
+    }
+
+    /// Allocates a fresh public IP registered to `geo`.
+    ///
+    /// Addresses within the same (country, ISP, city) tend to share blocks,
+    /// which keeps the synthetic address plan realistic for /16-granularity
+    /// geolocation.
+    pub fn allocate(&mut self, geo: &GeoInfo) -> Ipv4Addr {
+        // Find an existing block with the same registration that still has room.
+        let existing = self
+            .blocks
+            .iter()
+            .find(|(prefix, g)| {
+                **g == *geo && self.next_host.get(prefix).copied().unwrap_or(1) < u16::MAX
+            })
+            .map(|(p, _)| *p);
+        let prefix = existing.unwrap_or_else(|| {
+            let p = self.fresh_prefix();
+            self.blocks.insert(p, geo.clone());
+            p
+        });
+        let host = self.next_host.entry(prefix).or_insert(1);
+        let ip = Ipv4Addr::new(
+            (prefix >> 8) as u8,
+            (prefix & 0xff) as u8,
+            (*host >> 8) as u8,
+            (*host & 0xff) as u8,
+        );
+        *host += 1;
+        debug_assert_eq!(IpClass::of(ip), IpClass::Public, "allocated bogon {ip}");
+        ip
+    }
+
+    fn fresh_prefix(&mut self) -> u16 {
+        loop {
+            let p = self.next_block;
+            self.next_block = self.next_block.wrapping_add(1);
+            let probe = Ipv4Addr::new((p >> 8) as u8, (p & 0xff) as u8, 0, 1);
+            if IpClass::of(probe) == IpClass::Public && !self.blocks.contains_key(&p) {
+                return p;
+            }
+        }
+    }
+
+    /// Looks up the registration of `ip` (the IPinfo query of §IV-D).
+    ///
+    /// Returns `None` for bogons and for public space this registry never
+    /// allocated.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<&GeoInfo> {
+        if IpClass::of(ip).is_bogon() {
+            return None;
+        }
+        let [a, b, _, _] = ip.octets();
+        self.blocks.get(&(((a as u16) << 8) | b as u16))
+    }
+
+    /// Number of distinct allocated blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// A weighted country mix for generating viewer populations.
+///
+/// # Examples
+///
+/// ```
+/// use pdn_simnet::{CountryMix, SimRng};
+///
+/// // RT News-style audience (§IV-D): US 35%, GB 17%, CA 13%, the rest spread.
+/// let mix = CountryMix::new(vec![("US", 0.35), ("GB", 0.17), ("CA", 0.13), ("DE", 0.35)]);
+/// let mut rng = SimRng::seed(1);
+/// let c = mix.sample(&mut rng);
+/// assert!(["US", "GB", "CA", "DE"].contains(&c));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountryMix {
+    entries: Vec<(CountryCode, f64)>,
+}
+
+impl CountryMix {
+    /// Creates a mix from `(country, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or all weights are non-positive.
+    pub fn new(entries: Vec<(CountryCode, f64)>) -> Self {
+        assert!(
+            entries.iter().any(|(_, w)| *w > 0.0),
+            "country mix must have at least one positive weight"
+        );
+        CountryMix { entries }
+    }
+
+    /// A single-country mix.
+    pub fn single(country: CountryCode) -> Self {
+        CountryMix {
+            entries: vec![(country, 1.0)],
+        }
+    }
+
+    /// Samples a country.
+    pub fn sample(&self, rng: &mut SimRng) -> CountryCode {
+        let weights: Vec<f64> = self.entries.iter().map(|(_, w)| *w).collect();
+        let idx = rng
+            .choose_weighted(&weights)
+            .expect("mix validated non-empty");
+        self.entries[idx].0
+    }
+
+    /// The countries in this mix.
+    pub fn countries(&self) -> impl Iterator<Item = CountryCode> + '_ {
+        self.entries.iter().map(|(c, _)| *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_lookup() {
+        let mut svc = GeoIpService::new();
+        let geo = GeoInfo::new("CN", 1, "AS4134");
+        let ip = svc.allocate(&geo);
+        assert_eq!(svc.lookup(ip), Some(&geo));
+    }
+
+    #[test]
+    fn same_registration_shares_block() {
+        let mut svc = GeoIpService::new();
+        let geo = GeoInfo::new("US", 3, "AS7922");
+        let a = svc.allocate(&geo);
+        let b = svc.allocate(&geo);
+        assert_eq!(a.octets()[..2], b.octets()[..2]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_registrations_get_different_blocks() {
+        let mut svc = GeoIpService::new();
+        let a = svc.allocate(&GeoInfo::new("US", 1, "AS1"));
+        let b = svc.allocate(&GeoInfo::new("CN", 1, "AS2"));
+        assert_ne!(a.octets()[..2], b.octets()[..2]);
+        assert_eq!(svc.block_count(), 2);
+    }
+
+    #[test]
+    fn bogons_do_not_resolve() {
+        let svc = GeoIpService::new();
+        assert!(svc.lookup(Ipv4Addr::new(192, 168, 1, 1)).is_none());
+        assert!(svc.lookup(Ipv4Addr::new(100, 64, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn unallocated_public_space_does_not_resolve() {
+        let svc = GeoIpService::new();
+        assert!(svc.lookup(Ipv4Addr::new(93, 184, 216, 34)).is_none());
+    }
+
+    #[test]
+    fn country_mix_distribution_roughly_matches() {
+        let mix = CountryMix::new(vec![("CN", 0.98), ("US", 0.02)]);
+        let mut rng = SimRng::seed(5);
+        let n = 10_000;
+        let cn = (0..n).filter(|_| mix.sample(&mut rng) == "CN").count();
+        let frac = cn as f64 / n as f64;
+        assert!(frac > 0.96 && frac < 1.0, "CN fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn empty_mix_panics() {
+        CountryMix::new(vec![]);
+    }
+
+    #[test]
+    fn continents() {
+        assert_eq!(continent_of("US"), Continent::America);
+        assert_eq!(continent_of("CN"), Continent::Asia);
+        assert_eq!(continent_of("GB"), Continent::Europe);
+        assert_eq!(continent_of("ZZ"), Continent::Other);
+    }
+}

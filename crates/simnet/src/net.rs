@@ -1,0 +1,1032 @@
+//! The discrete-event network fabric.
+//!
+//! [`Network`] plays the role that the Internet plus Docker's virtual
+//! networking plays in the paper's PDN analyzer (§IV-A, Figure 2): it moves
+//! opaque datagrams between simulated hosts with realistic latency,
+//! bandwidth contention, loss, and NAT behaviour, while offering exactly the
+//! three interposition points the analyzer relies on —
+//!
+//! 1. **capture** ([`Network::capture`]): every frame on the wire, like
+//!    `tcpdump` on `docker0`;
+//! 2. **taps** ([`Network::install_tap`]): per-node middleboxes that can
+//!    drop, rewrite or redirect traffic, like the analyzer's MITM proxy;
+//! 3. **resource stats** ([`Network::resources`]): per-node CPU/memory/IO
+//!    counters, like the Docker Engine stats API.
+//!
+//! Protocol logic lives in higher layers (`pdn-webrtc`, `pdn-provider`);
+//! this module only transports bytes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::addr::Addr;
+use crate::geo::{continent_of, GeoInfo, GeoIpService};
+use crate::nat::{Nat, NatKind};
+use crate::resources::ResourceModel;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// Identifier of a simulated host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a NAT box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NatId(pub u32);
+
+/// Transport protocol tag carried on each datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Transport {
+    /// Unreliable datagram (STUN, DTLS, media).
+    Udp,
+    /// Stream segment (HTTP, WebSocket signaling). The simulator does not
+    /// model retransmission; `Tcp` frames are simply never lost.
+    Tcp,
+}
+
+/// A packet on the wire.
+#[derive(Debug, Clone)]
+pub struct Datagram {
+    /// Source address as seen by the recipient (post-NAT).
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Transport tag.
+    pub transport: Transport,
+    /// Opaque payload bytes.
+    pub payload: Bytes,
+}
+
+/// Access-link characteristics of a host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation latency of the access link.
+    pub latency: Duration,
+    /// Maximum random jitter added per packet.
+    pub jitter: Duration,
+    /// Uplink capacity in bits per second.
+    pub up_bps: u64,
+    /// Downlink capacity in bits per second.
+    pub down_bps: u64,
+    /// Packet loss probability for UDP frames.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// A typical residential broadband link: 100/20 Mbps, 15 ms, light loss.
+    pub fn residential() -> Self {
+        LinkSpec {
+            latency: Duration::from_millis(15),
+            jitter: Duration::from_millis(5),
+            up_bps: 20_000_000,
+            down_bps: 100_000_000,
+            loss: 0.001,
+        }
+    }
+
+    /// A well-provisioned datacenter link: 1 Gbps symmetric, 2 ms.
+    pub fn datacenter() -> Self {
+        LinkSpec {
+            latency: Duration::from_millis(2),
+            jitter: Duration::from_millis(1),
+            up_bps: 1_000_000_000,
+            down_bps: 1_000_000_000,
+            loss: 0.0,
+        }
+    }
+
+    /// A constrained mobile link: 20/5 Mbps, 40 ms, lossier.
+    pub fn cellular() -> Self {
+        LinkSpec {
+            latency: Duration::from_millis(40),
+            jitter: Duration::from_millis(15),
+            up_bps: 5_000_000,
+            down_bps: 20_000_000,
+            loss: 0.005,
+        }
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::residential()
+    }
+}
+
+/// Direction of a frame relative to a tapped node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapDirection {
+    /// The node is sending the frame.
+    Outbound,
+    /// The node is about to receive the frame.
+    Inbound,
+}
+
+/// Verdict returned by a tap for one frame.
+#[derive(Debug, Clone, Default)]
+pub struct TapVerdict {
+    /// Drop the frame entirely.
+    pub drop: bool,
+    /// Replace the payload.
+    pub new_payload: Option<Bytes>,
+    /// Redirect to a different destination (outbound taps only).
+    pub redirect_to: Option<Addr>,
+}
+
+impl TapVerdict {
+    /// Let the frame pass unchanged.
+    pub fn forward() -> Self {
+        TapVerdict::default()
+    }
+
+    /// Silently drop the frame.
+    pub fn drop_frame() -> Self {
+        TapVerdict {
+            drop: true,
+            ..Default::default()
+        }
+    }
+
+    /// Forward with a rewritten payload.
+    pub fn replace(payload: Bytes) -> Self {
+        TapVerdict {
+            new_payload: Some(payload),
+            ..Default::default()
+        }
+    }
+
+    /// Redirect to another destination, keeping the payload.
+    pub fn redirect(to: Addr) -> Self {
+        TapVerdict {
+            redirect_to: Some(to),
+            ..Default::default()
+        }
+    }
+}
+
+/// A middlebox function observing one node's traffic.
+pub type TapFn = Box<dyn FnMut(TapDirection, &Datagram) -> TapVerdict>;
+
+/// A frame recorded by the capture facility (one `tcpdump` line).
+#[derive(Debug, Clone)]
+pub struct CapturedFrame {
+    /// Transmission time.
+    pub at: SimTime,
+    /// Wire source (post-NAT).
+    pub src: Addr,
+    /// Wire destination.
+    pub dst: Addr,
+    /// Transport tag.
+    pub transport: Transport,
+    /// Full payload.
+    pub payload: Bytes,
+}
+
+/// An event delivered by [`Network::step`].
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A datagram arriving at a node.
+    Packet {
+        /// Receiving node.
+        to: NodeId,
+        /// The datagram, with `dst` translated back to the node's own
+        /// address realm when behind NAT.
+        dgram: Datagram,
+    },
+    /// A timer set via [`Network::set_timer`] firing.
+    Timer {
+        /// The node the timer belongs to.
+        node: NodeId,
+        /// Caller-chosen token.
+        token: u64,
+    },
+}
+
+/// Why a send did not result in a delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// No host or NAT owns the destination IP.
+    Unroutable,
+    /// Random loss on the path.
+    Loss,
+    /// The destination NAT's filtering policy rejected the frame.
+    NatFiltered,
+    /// Source or destination host is down.
+    NodeDown,
+    /// A tap dropped the frame.
+    Tapped,
+}
+
+/// Result of [`Network::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Scheduled for delivery at the given time.
+    Sent {
+        /// Arrival time at the destination application.
+        deliver_at: SimTime,
+    },
+    /// Dropped; no delivery will occur.
+    Dropped(DropReason),
+}
+
+impl SendOutcome {
+    /// Whether the frame was scheduled.
+    pub fn is_sent(&self) -> bool {
+        matches!(self, SendOutcome::Sent { .. })
+    }
+}
+
+struct NodeInfo {
+    addr_ip: Ipv4Addr,
+    nat: Option<usize>,
+    link: LinkSpec,
+    geo: GeoInfo,
+    up_free_at: SimTime,
+    down_free_at: SimTime,
+    res: ResourceModel,
+    alive: bool,
+}
+
+#[derive(PartialEq, Eq)]
+struct Queued {
+    at: SimTime,
+    seq: u64,
+}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated network fabric. See the crate-level documentation for the
+/// overall model.
+pub struct Network {
+    now: SimTime,
+    rng: SimRng,
+    geoip: GeoIpService,
+    nodes: Vec<NodeInfo>,
+    nats: Vec<Nat>,
+    // wire IP -> owner
+    public_routes: HashMap<Ipv4Addr, Route>,
+    private_routes: HashMap<Ipv4Addr, NodeId>,
+    next_private: u32,
+    queue: BinaryHeap<Reverse<Queued>>,
+    pending: HashMap<u64, Event>,
+    next_seq: u64,
+    taps: HashMap<NodeId, TapFn>,
+    capture: Vec<CapturedFrame>,
+    capture_enabled: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Route {
+    Host(NodeId),
+    Nat(usize),
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("nats", &self.nats.len())
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Creates an empty network seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            now: SimTime::ZERO,
+            rng: SimRng::seed(seed),
+            geoip: GeoIpService::new(),
+            nodes: Vec::new(),
+            nats: Vec::new(),
+            public_routes: HashMap::new(),
+            private_routes: HashMap::new(),
+            next_private: 1,
+            queue: BinaryHeap::new(),
+            pending: HashMap::new(),
+            next_seq: 0,
+            taps: HashMap::new(),
+            capture: Vec::new(),
+            capture_enabled: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The registry used to geolocate public addresses (the IPinfo stand-in).
+    pub fn geoip(&self) -> &GeoIpService {
+        &self.geoip
+    }
+
+    /// Deterministic RNG shared by the simulation (fork children from it
+    /// rather than consuming it directly in application code).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Adds a host with its own public IP.
+    pub fn add_public_host(&mut self, geo: GeoInfo, link: LinkSpec) -> NodeId {
+        let ip = self.geoip.allocate(&geo);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeInfo {
+            addr_ip: ip,
+            nat: None,
+            link,
+            geo,
+            up_free_at: SimTime::ZERO,
+            down_free_at: SimTime::ZERO,
+            res: ResourceModel::new(),
+            alive: true,
+        });
+        self.public_routes.insert(ip, Route::Host(id));
+        id
+    }
+
+    /// Adds a NAT box with a public IP in `geo`.
+    pub fn add_nat(&mut self, kind: NatKind, geo: &GeoInfo) -> NatId {
+        let ip = self.geoip.allocate(geo);
+        let idx = self.nats.len();
+        self.nats.push(Nat::new(kind, ip));
+        self.public_routes.insert(ip, Route::Nat(idx));
+        NatId(idx as u32)
+    }
+
+    /// Adds a host behind `nat`, with a unique RFC 1918 address.
+    ///
+    /// The host inherits no public IP of its own; its wire identity is the
+    /// NAT's public IP with per-flow ports.
+    pub fn add_host_behind(&mut self, nat: NatId, geo: GeoInfo, link: LinkSpec) -> NodeId {
+        let n = self.next_private;
+        self.next_private += 1;
+        // Unique 10.x.y.z per host keeps demo topologies unambiguous. Real
+        // realms overlap, but overlapping space adds nothing to the modeled
+        // attacks.
+        let ip = Ipv4Addr::new(
+            10,
+            ((n >> 16) & 0xff) as u8,
+            ((n >> 8) & 0xff) as u8,
+            (n & 0xff) as u8,
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeInfo {
+            addr_ip: ip,
+            nat: Some(nat.0 as usize),
+            link,
+            geo,
+            up_free_at: SimTime::ZERO,
+            down_free_at: SimTime::ZERO,
+            res: ResourceModel::new(),
+            alive: true,
+        });
+        self.private_routes.insert(ip, id);
+        id
+    }
+
+    /// The node's own IP (private when behind NAT).
+    pub fn ip(&self, node: NodeId) -> Ipv4Addr {
+        self.node(node).addr_ip
+    }
+
+    /// The node's public wire IP: its own IP, or its NAT's public IP.
+    pub fn public_ip(&self, node: NodeId) -> Ipv4Addr {
+        let info = self.node(node);
+        match info.nat {
+            Some(idx) => self.nats[idx].public_ip(),
+            None => info.addr_ip,
+        }
+    }
+
+    /// Whether the node sits behind a NAT.
+    pub fn is_natted(&self, node: NodeId) -> bool {
+        self.node(node).nat.is_some()
+    }
+
+    /// The NAT kind in front of the node, if any.
+    pub fn nat_kind(&self, node: NodeId) -> Option<NatKind> {
+        self.node(node).nat.map(|i| self.nats[i].kind())
+    }
+
+    /// Geographic registration of the node.
+    pub fn geo(&self, node: NodeId) -> &GeoInfo {
+        &self.node(node).geo
+    }
+
+    /// Immutable resource counters of the node.
+    pub fn resources(&self, node: NodeId) -> &ResourceModel {
+        &self.node(node).res
+    }
+
+    /// Mutable resource counters (application layers charge CPU/memory here).
+    pub fn resources_mut(&mut self, node: NodeId) -> &mut ResourceModel {
+        &mut self.nodes[node.0 as usize].res
+    }
+
+    /// Takes a resource sample of every node at the current time.
+    pub fn sample_resources(&mut self) {
+        let now = self.now;
+        for n in &mut self.nodes {
+            n.res.sample(now);
+        }
+    }
+
+    /// Marks a node up or down (failure injection).
+    pub fn set_alive(&mut self, node: NodeId, alive: bool) {
+        self.nodes[node.0 as usize].alive = alive;
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.node(node).alive
+    }
+
+    /// Installs (or replaces) the middlebox tap on `node`.
+    pub fn install_tap(&mut self, node: NodeId, tap: TapFn) {
+        self.taps.insert(node, tap);
+    }
+
+    /// Removes the tap on `node`.
+    pub fn remove_tap(&mut self, node: NodeId) {
+        self.taps.remove(&node);
+    }
+
+    /// Enables or disables frame capture.
+    pub fn set_capture(&mut self, enabled: bool) {
+        self.capture_enabled = enabled;
+    }
+
+    /// All frames captured so far.
+    pub fn capture(&self) -> &[CapturedFrame] {
+        &self.capture
+    }
+
+    /// Clears the capture buffer.
+    pub fn clear_capture(&mut self) {
+        self.capture.clear();
+    }
+
+    /// Schedules `token` to fire at `node` after `delay`.
+    pub fn set_timer(&mut self, node: NodeId, delay: Duration, token: u64) {
+        let at = self.now + delay;
+        self.push_event(at, Event::Timer { node, token });
+    }
+
+    /// Sends `payload` from `node` (source port `src_port`) to `dst`.
+    ///
+    /// Applies, in order: the sender's tap (may drop/rewrite/redirect), NAT
+    /// egress, routing, loss, NAT ingress filtering, the receiver's tap
+    /// (may drop/rewrite), then schedules delivery honouring both access
+    /// links' bandwidth.
+    pub fn send(
+        &mut self,
+        node: NodeId,
+        src_port: u16,
+        dst: Addr,
+        transport: Transport,
+        payload: Bytes,
+    ) -> SendOutcome {
+        if !self.node(node).alive {
+            return SendOutcome::Dropped(DropReason::NodeDown);
+        }
+        let src_internal = Addr::from_ip(self.node(node).addr_ip, src_port);
+        let mut dgram = Datagram {
+            src: src_internal,
+            dst,
+            transport,
+            payload,
+        };
+
+        // Sender-side tap (the analyzer's proxy client).
+        if let Some(verdict) = self.apply_tap(node, TapDirection::Outbound, &dgram) {
+            if verdict.drop {
+                return SendOutcome::Dropped(DropReason::Tapped);
+            }
+            if let Some(p) = verdict.new_payload {
+                dgram.payload = p;
+            }
+            if let Some(d) = verdict.redirect_to {
+                dgram.dst = d;
+            }
+        }
+
+        // NAT egress: rewrite the wire source.
+        if let Some(nat_idx) = self.node(node).nat {
+            dgram.src = self.nats[nat_idx].egress(src_internal, dgram.dst);
+        }
+
+        let len = dgram.payload.len().max(64) as u64; // 64-byte minimum frame
+
+        // Routing.
+        let (dest_node, final_dst) = match self.route(&dgram, node) {
+            Ok(pair) => pair,
+            Err(reason) => {
+                self.capture_frame(&dgram);
+                return SendOutcome::Dropped(reason);
+            }
+        };
+        if !self.node(dest_node).alive {
+            self.capture_frame(&dgram);
+            return SendOutcome::Dropped(DropReason::NodeDown);
+        }
+
+        self.capture_frame(&dgram);
+
+        // Loss applies to UDP only (TCP models retransmission).
+        if dgram.transport == Transport::Udp {
+            let loss = self.node(node).link.loss + self.node(dest_node).link.loss;
+            if self.rng.chance(loss) {
+                return SendOutcome::Dropped(DropReason::Loss);
+            }
+        }
+
+        // Receiver-side tap.
+        let delivered_dgram = Datagram {
+            dst: final_dst,
+            ..dgram.clone()
+        };
+        let mut delivered_dgram = delivered_dgram;
+        if let Some(verdict) = self.apply_tap(dest_node, TapDirection::Inbound, &delivered_dgram) {
+            if verdict.drop {
+                return SendOutcome::Dropped(DropReason::Tapped);
+            }
+            if let Some(p) = verdict.new_payload {
+                delivered_dgram.payload = p;
+            }
+        }
+
+        // Transmission + propagation + reception scheduling.
+        let src_link = self.node(node).link;
+        let dst_link = self.node(dest_node).link;
+        let tx_start = self.now.max(self.node(node).up_free_at);
+        let tx_dur = Self::serialization(len, src_link.up_bps);
+        let tx_end = tx_start + tx_dur;
+        self.nodes[node.0 as usize].up_free_at = tx_end;
+
+        let prop = src_link.latency
+            + dst_link.latency
+            + self.backbone_latency(node, dest_node)
+            + self.jitter(src_link.jitter + dst_link.jitter);
+
+        let rx_start = (tx_end + prop).max(self.node(dest_node).down_free_at);
+        let rx_dur = Self::serialization(len, dst_link.down_bps);
+        let deliver_at = rx_start + rx_dur;
+        self.nodes[dest_node.0 as usize].down_free_at = deliver_at;
+
+        self.nodes[node.0 as usize].res.record_tx(len);
+        self.nodes[dest_node.0 as usize].res.record_rx(len);
+
+        self.push_event(
+            deliver_at,
+            Event::Packet {
+                to: dest_node,
+                dgram: delivered_dgram,
+            },
+        );
+        SendOutcome::Sent { deliver_at }
+    }
+
+    /// Pops the next event, advancing virtual time to it.
+    ///
+    /// Returns `None` when the queue is empty.
+    pub fn step(&mut self) -> Option<(SimTime, Event)> {
+        let Reverse(q) = self.queue.pop()?;
+        let ev = self
+            .pending
+            .remove(&q.seq)
+            .expect("queued event has a pending entry");
+        debug_assert!(q.at >= self.now, "time went backwards");
+        self.now = q.at;
+        Some((q.at, ev))
+    }
+
+    /// Pops events until the queue is empty or the next event is after
+    /// `deadline`; advances time to `deadline` at the end.
+    ///
+    /// Returns the drained events. Use [`Network::step`] in a loop when the
+    /// application must react to each event (most protocol code does).
+    pub fn drain_until(&mut self, deadline: SimTime) -> Vec<(SimTime, Event)> {
+        let mut out = Vec::new();
+        while let Some(Reverse(q)) = self.queue.peek() {
+            if q.at > deadline {
+                break;
+            }
+            out.push(self.step().expect("peeked event exists"));
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        out
+    }
+
+    /// Advances time to `at` without processing events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn advance_to(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot advance into the past");
+        self.now = at;
+    }
+
+    /// Whether any events remain queued.
+    pub fn has_pending_events(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Time of the next queued event, if any (without popping it).
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(q)| q.at)
+    }
+
+    fn node(&self, id: NodeId) -> &NodeInfo {
+        &self.nodes[id.0 as usize]
+    }
+
+    fn serialization(bytes: u64, bps: u64) -> Duration {
+        Duration::from_nanos(bytes.saturating_mul(8).saturating_mul(1_000_000_000) / bps.max(1))
+    }
+
+    fn jitter(&mut self, max: Duration) -> Duration {
+        if max.is_zero() {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.rng.range(0..max.as_nanos() as u64))
+    }
+
+    fn backbone_latency(&self, a: NodeId, b: NodeId) -> Duration {
+        let ga = &self.node(a).geo;
+        let gb = &self.node(b).geo;
+        if ga.country == gb.country {
+            if ga.city == gb.city {
+                Duration::from_millis(3)
+            } else {
+                Duration::from_millis(12)
+            }
+        } else if continent_of(&ga.country) == continent_of(&gb.country) {
+            Duration::from_millis(35)
+        } else {
+            Duration::from_millis(110)
+        }
+    }
+
+    fn route(&mut self, dgram: &Datagram, src_node: NodeId) -> Result<(NodeId, Addr), DropReason> {
+        match self.public_routes.get(&dgram.dst.ip).copied() {
+            Some(Route::Host(id)) => Ok((id, dgram.dst)),
+            Some(Route::Nat(idx)) => {
+                let internal = self.nats[idx]
+                    .ingress(dgram.dst.port, dgram.src)
+                    .ok_or(DropReason::NatFiltered)?;
+                let node = *self
+                    .private_routes
+                    .get(&internal.ip)
+                    .ok_or(DropReason::Unroutable)?;
+                Ok((node, internal))
+            }
+            None => {
+                // Private addresses are only reachable from hosts in the
+                // same NAT realm; from anywhere else they are bogons.
+                match self.private_routes.get(&dgram.dst.ip) {
+                    Some(&node)
+                        if self.node(src_node).nat.is_some()
+                            && self.node(src_node).nat == self.node(node).nat =>
+                    {
+                        Ok((node, dgram.dst))
+                    }
+                    _ => Err(DropReason::Unroutable),
+                }
+            }
+        }
+    }
+
+    fn apply_tap(
+        &mut self,
+        node: NodeId,
+        dir: TapDirection,
+        dgram: &Datagram,
+    ) -> Option<TapVerdict> {
+        let tap = self.taps.get_mut(&node)?;
+        Some(tap(dir, dgram))
+    }
+
+    fn capture_frame(&mut self, dgram: &Datagram) {
+        if self.capture_enabled {
+            self.capture.push(CapturedFrame {
+                at: self.now,
+                src: dgram.src,
+                dst: dgram.dst,
+                transport: dgram.transport,
+                payload: dgram.payload.clone(),
+            });
+        }
+    }
+
+    fn push_event(&mut self, at: SimTime, ev: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq, ev);
+        self.queue.push(Reverse(Queued { at, seq }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(c: &str) -> GeoInfo {
+        GeoInfo::new(c, 1, "AS1")
+    }
+
+    fn two_public_hosts(net: &mut Network) -> (NodeId, NodeId) {
+        let a = net.add_public_host(geo("US"), LinkSpec::residential());
+        let b = net.add_public_host(geo("US"), LinkSpec::residential());
+        (a, b)
+    }
+
+    #[test]
+    fn basic_delivery() {
+        let mut net = Network::new(1);
+        let (a, b) = two_public_hosts(&mut net);
+        let dst = Addr::from_ip(net.ip(b), 80);
+        let out = net.send(a, 5000, dst, Transport::Tcp, Bytes::from_static(b"hi"));
+        assert!(out.is_sent());
+        let (at, ev) = net.step().expect("one event");
+        match ev {
+            Event::Packet { to, dgram } => {
+                assert_eq!(to, b);
+                assert_eq!(&dgram.payload[..], b"hi");
+                assert_eq!(dgram.src.ip, net.ip(a));
+                assert_eq!(dgram.dst, dst);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert!(at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn unroutable_dropped() {
+        let mut net = Network::new(1);
+        let (a, _) = two_public_hosts(&mut net);
+        let out = net.send(
+            a,
+            1,
+            Addr::new(203, 0, 114, 1, 9),
+            Transport::Udp,
+            Bytes::new(),
+        );
+        assert_eq!(out, SendOutcome::Dropped(DropReason::Unroutable));
+    }
+
+    #[test]
+    fn dead_nodes_cannot_send_or_receive() {
+        let mut net = Network::new(1);
+        let (a, b) = two_public_hosts(&mut net);
+        let dst = Addr::from_ip(net.ip(b), 80);
+        net.set_alive(a, false);
+        assert_eq!(
+            net.send(a, 1, dst, Transport::Tcp, Bytes::new()),
+            SendOutcome::Dropped(DropReason::NodeDown)
+        );
+        net.set_alive(a, true);
+        net.set_alive(b, false);
+        assert_eq!(
+            net.send(a, 1, dst, Transport::Tcp, Bytes::new()),
+            SendOutcome::Dropped(DropReason::NodeDown)
+        );
+    }
+
+    #[test]
+    fn nat_egress_rewrites_source_and_filters_ingress() {
+        let mut net = Network::new(1);
+        let server = net.add_public_host(geo("US"), LinkSpec::datacenter());
+        let nat = net.add_nat(NatKind::PortRestrictedCone, &geo("US"));
+        let client = net.add_host_behind(nat, geo("US"), LinkSpec::residential());
+
+        let server_addr = Addr::from_ip(net.ip(server), 3478);
+        let out = net.send(client, 7000, server_addr, Transport::Udp, Bytes::from_static(b"req"));
+        assert!(out.is_sent());
+        let (_, ev) = net.step().unwrap();
+        let observed_src = match ev {
+            Event::Packet { to, dgram } => {
+                assert_eq!(to, server);
+                // Server sees the NAT's public IP, not the private realm.
+                assert_eq!(dgram.src.ip, net.public_ip(client));
+                assert_ne!(dgram.src.ip, net.ip(client));
+                dgram.src
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+
+        // Reply to the mapping succeeds (same ip+port).
+        let back = net.send(server, 3478, observed_src, Transport::Udp, Bytes::from_static(b"ok"));
+        assert!(back.is_sent());
+        let (_, ev) = net.step().unwrap();
+        match ev {
+            Event::Packet { to, dgram } => {
+                assert_eq!(to, client);
+                // Delivered with the client's internal address.
+                assert_eq!(dgram.dst, Addr::from_ip(net.ip(client), 7000));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A stranger hitting the same mapping is filtered (port-restricted).
+        let stranger = net.add_public_host(geo("US"), LinkSpec::residential());
+        let out = net.send(stranger, 1, observed_src, Transport::Udp, Bytes::new());
+        assert_eq!(out, SendOutcome::Dropped(DropReason::NatFiltered));
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_sends() {
+        let mut net = Network::new(1);
+        let slow = LinkSpec {
+            up_bps: 8_000_000, // 1 MB/s
+            ..LinkSpec::residential()
+        };
+        let a = net.add_public_host(geo("US"), slow);
+        let b = net.add_public_host(geo("US"), LinkSpec::datacenter());
+        let dst = Addr::from_ip(net.ip(b), 80);
+        let megabyte = Bytes::from(vec![0u8; 1_000_000]);
+        let t1 = match net.send(a, 1, dst, Transport::Tcp, megabyte.clone()) {
+            SendOutcome::Sent { deliver_at } => deliver_at,
+            o => panic!("{o:?}"),
+        };
+        let t2 = match net.send(a, 1, dst, Transport::Tcp, megabyte) {
+            SendOutcome::Sent { deliver_at } => deliver_at,
+            o => panic!("{o:?}"),
+        };
+        // Second send must wait for the first 1s-long transmission.
+        assert!(t2 > t1);
+        assert!((t2 - t1) >= Duration::from_millis(900));
+    }
+
+    #[test]
+    fn events_ordered_by_time() {
+        let mut net = Network::new(1);
+        let (a, b) = two_public_hosts(&mut net);
+        let dst = Addr::from_ip(net.ip(b), 80);
+        net.set_timer(a, Duration::from_secs(10), 42);
+        net.send(a, 1, dst, Transport::Tcp, Bytes::from_static(b"x"));
+        let (t1, ev1) = net.step().unwrap();
+        let (t2, ev2) = net.step().unwrap();
+        assert!(t1 <= t2);
+        assert!(matches!(ev1, Event::Packet { .. }));
+        assert!(matches!(ev2, Event::Timer { node, token: 42 } if node == a));
+    }
+
+    #[test]
+    fn capture_records_wire_addresses() {
+        let mut net = Network::new(1);
+        let server = net.add_public_host(geo("US"), LinkSpec::datacenter());
+        let nat = net.add_nat(NatKind::FullCone, &geo("US"));
+        let client = net.add_host_behind(nat, geo("US"), LinkSpec::residential());
+        net.set_capture(true);
+        let dst = Addr::from_ip(net.ip(server), 443);
+        net.send(client, 1, dst, Transport::Tcp, Bytes::from_static(b"GET"));
+        assert_eq!(net.capture().len(), 1);
+        let f = &net.capture()[0];
+        assert_eq!(f.src.ip, net.public_ip(client));
+        assert_eq!(f.dst, dst);
+        net.clear_capture();
+        assert!(net.capture().is_empty());
+    }
+
+    #[test]
+    fn outbound_tap_can_redirect_and_rewrite() {
+        let mut net = Network::new(1);
+        let a = net.add_public_host(geo("US"), LinkSpec::residential());
+        let real = net.add_public_host(geo("US"), LinkSpec::datacenter());
+        let fake = net.add_public_host(geo("US"), LinkSpec::datacenter());
+        let fake_addr = Addr::from_ip(net.ip(fake), 80);
+        net.install_tap(
+            a,
+            Box::new(move |dir, d| {
+                if dir == TapDirection::Outbound && d.dst.port == 80 {
+                    TapVerdict {
+                        redirect_to: Some(fake_addr),
+                        new_payload: Some(Bytes::from_static(b"polluted")),
+                        drop: false,
+                    }
+                } else {
+                    TapVerdict::forward()
+                }
+            }),
+        );
+        let real_addr = Addr::from_ip(net.ip(real), 80);
+        net.send(a, 1, real_addr, Transport::Tcp, Bytes::from_static(b"orig"));
+        let (_, ev) = net.step().unwrap();
+        match ev {
+            Event::Packet { to, dgram } => {
+                assert_eq!(to, fake, "redirected to the fake CDN");
+                assert_eq!(&dgram.payload[..], b"polluted");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inbound_tap_can_drop() {
+        let mut net = Network::new(1);
+        let (a, b) = two_public_hosts(&mut net);
+        net.install_tap(
+            b,
+            Box::new(|dir, _| {
+                if dir == TapDirection::Inbound {
+                    TapVerdict::drop_frame()
+                } else {
+                    TapVerdict::forward()
+                }
+            }),
+        );
+        let dst = Addr::from_ip(net.ip(b), 80);
+        let out = net.send(a, 1, dst, Transport::Tcp, Bytes::from_static(b"x"));
+        assert_eq!(out, SendOutcome::Dropped(DropReason::Tapped));
+        assert!(net.step().is_none());
+    }
+
+    #[test]
+    fn resource_io_counters_update() {
+        let mut net = Network::new(1);
+        let (a, b) = two_public_hosts(&mut net);
+        let dst = Addr::from_ip(net.ip(b), 80);
+        net.send(a, 1, dst, Transport::Tcp, Bytes::from(vec![0u8; 5000]));
+        assert_eq!(net.resources(a).total_tx(), 5000);
+        assert_eq!(net.resources(b).total_rx(), 5000);
+    }
+
+    #[test]
+    fn cross_continent_latency_exceeds_domestic() {
+        let mut net = Network::new(1);
+        let us1 = net.add_public_host(geo("US"), LinkSpec::datacenter());
+        let us2 = net.add_public_host(geo("US"), LinkSpec::datacenter());
+        let cn = net.add_public_host(geo("CN"), LinkSpec::datacenter());
+        let d_us = Addr::from_ip(net.ip(us2), 1);
+        let d_cn = Addr::from_ip(net.ip(cn), 1);
+        let t_us = match net.send(us1, 1, d_us, Transport::Tcp, Bytes::from_static(b"x")) {
+            SendOutcome::Sent { deliver_at } => deliver_at,
+            o => panic!("{o:?}"),
+        };
+        let t_cn = match net.send(us1, 1, d_cn, Transport::Tcp, Bytes::from_static(b"x")) {
+            SendOutcome::Sent { deliver_at } => deliver_at,
+            o => panic!("{o:?}"),
+        };
+        assert!(t_cn.saturating_since(SimTime::ZERO) > t_us.saturating_since(SimTime::ZERO));
+    }
+
+    #[test]
+    fn drain_until_advances_clock() {
+        let mut net = Network::new(1);
+        let (a, _) = two_public_hosts(&mut net);
+        net.set_timer(a, Duration::from_secs(1), 1);
+        net.set_timer(a, Duration::from_secs(5), 2);
+        let evs = net.drain_until(SimTime::from_secs(2));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(net.now(), SimTime::from_secs(2));
+        assert!(net.has_pending_events());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut net = Network::new(seed);
+            let (a, b) = two_public_hosts(&mut net);
+            let dst = Addr::from_ip(net.ip(b), 80);
+            let mut times = Vec::new();
+            for _ in 0..20 {
+                if let SendOutcome::Sent { deliver_at } =
+                    net.send(a, 1, dst, Transport::Udp, Bytes::from(vec![0u8; 1200]))
+                {
+                    times.push(deliver_at.as_nanos());
+                }
+            }
+            times
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

@@ -1,0 +1,669 @@
+//! A simulated DTLS layer: fingerprint-authenticated handshake and an
+//! encrypted, MAC'd record layer.
+//!
+//! **This is not real DTLS.** It reproduces the *security properties* the
+//! paper's analysis depends on (RFC 8826, §IV-C of the paper):
+//!
+//! - peer-to-peer payloads are confidential against passive capture (the
+//!   dynamic detector can see *that* a DTLS connection exists — content
+//!   type + version bytes are in clear — but not read segment bytes);
+//! - each side authenticates the other against the certificate fingerprint
+//!   signaled over the (TLS-protected) signaling channel, so a classic MITM
+//!   with a different certificate is detected;
+//! - records are integrity-protected and replay-rejected.
+//!
+//! Key agreement is a toy Diffie-Hellman over the Mersenne prime `2^61-1`
+//! and the cipher is an HMAC-derived XOR keystream — adequate for a
+//! simulation whose adversaries are *inside* the model, never for real use.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use pdn_crypto::hmac::hmac_sha256;
+use pdn_crypto::sha256;
+use pdn_simnet::SimRng;
+
+use crate::cert::{Certificate, Fingerprint};
+
+const DH_P: u128 = (1u128 << 61) - 1;
+const DH_G: u128 = 3;
+
+const CT_HANDSHAKE: u8 = 22;
+const CT_APPDATA: u8 = 23;
+const VERSION: [u8; 2] = [0xfe, 0xfd]; // DTLS 1.2
+
+const HS_CLIENT_HELLO: u8 = 1;
+const HS_SERVER_HELLO: u8 = 2;
+const HS_CLIENT_FINISHED: u8 = 20;
+
+/// Maximum plaintext bytes per record (TLS limit; larger messages are
+/// chunked by the data-channel layer).
+pub const MAX_RECORD_PLAINTEXT: usize = 16_384;
+
+fn modpow(mut base: u128, mut exp: u64, modulus: u128) -> u128 {
+    let mut acc = 1u128;
+    base %= modulus;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * base % modulus;
+        }
+        base = base * base % modulus;
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Errors surfaced by the DTLS endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtlsError {
+    /// Malformed or unexpected handshake message.
+    Handshake(&'static str),
+    /// The peer's certificate fingerprint did not match the signaled one.
+    FingerprintMismatch,
+    /// A record failed authentication.
+    BadRecord,
+    /// A record's sequence number was not fresh (replay).
+    Replay,
+    /// Plaintext exceeded the maximum record size ([`MAX_RECORD_PLAINTEXT`]).
+    Oversize,
+    /// Operation requires an established session.
+    NotEstablished,
+}
+
+impl std::fmt::Display for DtlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DtlsError::Handshake(m) => write!(f, "handshake failure: {m}"),
+            DtlsError::FingerprintMismatch => write!(f, "certificate fingerprint mismatch"),
+            DtlsError::BadRecord => write!(f, "record authentication failed"),
+            DtlsError::Replay => write!(f, "replayed or reordered record"),
+            DtlsError::NotEstablished => write!(f, "session not established"),
+            DtlsError::Oversize => write!(f, "plaintext exceeds maximum record size"),
+        }
+    }
+}
+
+impl std::error::Error for DtlsError {}
+
+/// Endpoint role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Initiates the handshake (sends ClientHello).
+    Client,
+    /// Responds to a ClientHello.
+    Server,
+}
+
+#[derive(Debug)]
+enum State {
+    /// Client: hello sent, awaiting ServerHello.
+    AwaitServerHello { client_hello: Vec<u8> },
+    /// Server: awaiting ClientHello.
+    AwaitClientHello,
+    /// Server: hello sent, awaiting client Finished.
+    AwaitClientFinished { transcript: [u8; 32] },
+    Established,
+    Failed,
+}
+
+/// A sans-IO DTLS endpoint. Feed it wire bytes, collect wire bytes.
+#[derive(Debug)]
+pub struct DtlsEndpoint {
+    role: Role,
+    cert: Certificate,
+    expected_peer: Option<Fingerprint>,
+    dh_secret: u64,
+    state: State,
+    /// Keys: (enc send, enc recv, mac send, mac recv) once established.
+    keys: Option<SessionKeys>,
+    send_seq: u64,
+    replay: ReplayWindow,
+    peer_fingerprint: Option<Fingerprint>,
+    /// Last handshake flight sent, re-sent on duplicate requests (UDP loss
+    /// recovery).
+    last_flight: Option<Bytes>,
+}
+
+/// Anti-replay sliding window (RFC 6347 §4.1.2.6 style): accepts reordered
+/// records within the window, rejects duplicates and stale records.
+#[derive(Debug, Default)]
+struct ReplayWindow {
+    max: Option<u64>,
+    /// Bit `i` set means `max - i` was received.
+    bitmap: u64,
+}
+
+impl ReplayWindow {
+    fn check_and_update(&mut self, seq: u64) -> bool {
+        match self.max {
+            None => {
+                self.max = Some(seq);
+                self.bitmap = 1;
+                true
+            }
+            Some(max) if seq > max => {
+                let shift = seq - max;
+                self.bitmap = if shift >= 64 {
+                    1
+                } else {
+                    (self.bitmap << shift) | 1
+                };
+                self.max = Some(seq);
+                true
+            }
+            Some(max) => {
+                let offset = max - seq;
+                if offset >= 64 {
+                    return false; // too old
+                }
+                let bit = 1u64 << offset;
+                if self.bitmap & bit != 0 {
+                    return false; // duplicate
+                }
+                self.bitmap |= bit;
+                true
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SessionKeys {
+    client_write: [u8; 32],
+    server_write: [u8; 32],
+    mac: [u8; 32],
+}
+
+impl DtlsEndpoint {
+    /// Creates a client endpoint and its ClientHello flight.
+    ///
+    /// `expected_peer` is the fingerprint learned from signaling; pass
+    /// `None` to model an endpoint that (unsafely) skips verification.
+    pub fn client(
+        cert: Certificate,
+        expected_peer: Option<Fingerprint>,
+        rng: &mut SimRng,
+    ) -> (Self, Bytes) {
+        let dh_secret = rng.next_u64() % ((DH_P - 1) as u64) + 1;
+        let dh_pub = modpow(DH_G, dh_secret, DH_P) as u64;
+        let mut random = [0u8; 32];
+        fill(&mut random, rng);
+
+        let mut hello = BytesMut::new();
+        hello.put_u8(CT_HANDSHAKE);
+        hello.put_slice(&VERSION);
+        hello.put_u8(HS_CLIENT_HELLO);
+        hello.put_slice(&random);
+        hello.put_u64(dh_pub);
+        hello.put_slice(&cert.fingerprint().0);
+        let hello = hello.freeze();
+
+        (
+            DtlsEndpoint {
+                role: Role::Client,
+                cert,
+                expected_peer,
+                dh_secret,
+                state: State::AwaitServerHello {
+                    client_hello: hello.to_vec(),
+                },
+                keys: None,
+                send_seq: 0,
+                replay: ReplayWindow::default(),
+                peer_fingerprint: None,
+                last_flight: None,
+            },
+            hello,
+        )
+    }
+
+    /// Creates a server endpoint awaiting a ClientHello.
+    pub fn server(cert: Certificate, expected_peer: Option<Fingerprint>, rng: &mut SimRng) -> Self {
+        let dh_secret = rng.next_u64() % ((DH_P - 1) as u64) + 1;
+        DtlsEndpoint {
+            role: Role::Server,
+            cert,
+            expected_peer,
+            dh_secret,
+            state: State::AwaitClientHello,
+            keys: None,
+            send_seq: 0,
+            replay: ReplayWindow::default(),
+            peer_fingerprint: None,
+            last_flight: None,
+        }
+    }
+
+    /// Whether the handshake completed.
+    pub fn is_established(&self) -> bool {
+        matches!(self.state, State::Established)
+    }
+
+    /// The peer's certificate fingerprint, once seen.
+    pub fn peer_fingerprint(&self) -> Option<Fingerprint> {
+        self.peer_fingerprint
+    }
+
+    /// Processes a handshake record; returns an optional response flight.
+    ///
+    /// # Errors
+    ///
+    /// Fails the endpoint on malformed flights or fingerprint mismatch.
+    pub fn handle_handshake(
+        &mut self,
+        data: &[u8],
+        rng: &mut SimRng,
+    ) -> Result<Option<Bytes>, DtlsError> {
+        if data.len() < 4 || data[0] != CT_HANDSHAKE || data[1..3] != VERSION {
+            return Err(DtlsError::Handshake("not a handshake record"));
+        }
+        let msg_type = data[3];
+        let body = &data[4..];
+        match (&self.state, self.role, msg_type) {
+            (State::AwaitClientHello, Role::Server, HS_CLIENT_HELLO) => {
+                if body.len() != 32 + 8 + 32 {
+                    self.state = State::Failed;
+                    return Err(DtlsError::Handshake("bad ClientHello length"));
+                }
+                let client_random: [u8; 32] = body[..32].try_into().expect("checked");
+                let client_pub = u64::from_be_bytes(body[32..40].try_into().expect("checked"));
+                let client_fp = Fingerprint(body[40..72].try_into().expect("checked"));
+                self.peer_fingerprint = Some(client_fp);
+                if let Some(expected) = self.expected_peer {
+                    if expected != client_fp {
+                        self.state = State::Failed;
+                        return Err(DtlsError::FingerprintMismatch);
+                    }
+                }
+                let shared = modpow(client_pub as u128, self.dh_secret, DH_P) as u64;
+                let server_pub = modpow(DH_G, self.dh_secret, DH_P) as u64;
+                let mut server_random = [0u8; 32];
+                fill(&mut server_random, rng);
+
+                let keys = derive_keys(shared, &client_random, &server_random);
+                let transcript = transcript_hash(data, &server_random, server_pub);
+                let finished = finished_mac(&keys.mac, b"server finished", &transcript);
+
+                let mut out = BytesMut::new();
+                out.put_u8(CT_HANDSHAKE);
+                out.put_slice(&VERSION);
+                out.put_u8(HS_SERVER_HELLO);
+                out.put_slice(&server_random);
+                out.put_u64(server_pub);
+                out.put_slice(&self.cert.fingerprint().0);
+                out.put_slice(&finished);
+
+                self.keys = Some(keys);
+                self.state = State::AwaitClientFinished { transcript };
+                let flight = out.freeze();
+                self.last_flight = Some(flight.clone());
+                Ok(Some(flight))
+            }
+            (State::AwaitServerHello { client_hello }, Role::Client, HS_SERVER_HELLO) => {
+                if body.len() != 32 + 8 + 32 + 32 {
+                    self.state = State::Failed;
+                    return Err(DtlsError::Handshake("bad ServerHello length"));
+                }
+                let client_hello = client_hello.clone();
+                let server_random: [u8; 32] = body[..32].try_into().expect("checked");
+                let server_pub = u64::from_be_bytes(body[32..40].try_into().expect("checked"));
+                let server_fp = Fingerprint(body[40..72].try_into().expect("checked"));
+                let finished: [u8; 32] = body[72..104].try_into().expect("checked");
+                self.peer_fingerprint = Some(server_fp);
+                if let Some(expected) = self.expected_peer {
+                    if expected != server_fp {
+                        self.state = State::Failed;
+                        return Err(DtlsError::FingerprintMismatch);
+                    }
+                }
+                let client_random: [u8; 32] = client_hello[4..36].try_into().expect("own hello");
+                let shared = modpow(server_pub as u128, self.dh_secret, DH_P) as u64;
+                let keys = derive_keys(shared, &client_random, &server_random);
+                let transcript = transcript_hash(&client_hello, &server_random, server_pub);
+                let expect = finished_mac(&keys.mac, b"server finished", &transcript);
+                if !pdn_crypto::ct_eq(&expect, &finished) {
+                    self.state = State::Failed;
+                    return Err(DtlsError::Handshake("server Finished MAC mismatch"));
+                }
+                let client_finished = finished_mac(&keys.mac, b"client finished", &transcript);
+                let mut out = BytesMut::new();
+                out.put_u8(CT_HANDSHAKE);
+                out.put_slice(&VERSION);
+                out.put_u8(HS_CLIENT_FINISHED);
+                out.put_slice(&client_finished);
+
+                // Stash the transcript for server-side verification symmetry.
+                self.keys = Some(keys);
+                self.state = State::Established;
+                Ok(Some(out.freeze()))
+            }
+            (State::AwaitClientFinished { transcript }, Role::Server, HS_CLIENT_FINISHED) => {
+                if body.len() != 32 {
+                    self.state = State::Failed;
+                    return Err(DtlsError::Handshake("bad Finished length"));
+                }
+                let transcript = *transcript;
+                let keys = self.keys.as_ref().expect("keys set at ServerHello");
+                let expect = finished_mac(&keys.mac, b"client finished", &transcript);
+                if !pdn_crypto::ct_eq(&expect, body) {
+                    self.state = State::Failed;
+                    return Err(DtlsError::Handshake("client Finished MAC mismatch"));
+                }
+                self.state = State::Established;
+                Ok(None)
+            }
+            // Loss recovery: a retransmitted ClientHello after our
+            // ServerHello means the client never saw it — re-send the same
+            // flight (randoms and keys must not change).
+            (State::AwaitClientFinished { .. }, Role::Server, HS_CLIENT_HELLO) => {
+                Ok(self.last_flight.clone())
+            }
+            // Duplicates after establishment are harmless.
+            (State::Established, _, HS_CLIENT_FINISHED) => Ok(None),
+            (State::Established, Role::Server, HS_CLIENT_HELLO) => Ok(None),
+            (State::Failed, ..) => Err(DtlsError::Handshake("endpoint already failed")),
+            _ => {
+                self.state = State::Failed;
+                Err(DtlsError::Handshake("unexpected message for state"))
+            }
+        }
+    }
+
+    /// Encrypts `plaintext` into an application-data record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtlsError::NotEstablished`] before the handshake completes.
+    pub fn seal(&mut self, plaintext: &[u8]) -> Result<Bytes, DtlsError> {
+        if !self.is_established() {
+            return Err(DtlsError::NotEstablished);
+        }
+        if plaintext.len() > MAX_RECORD_PLAINTEXT {
+            return Err(DtlsError::Oversize);
+        }
+        let keys = self.keys.as_ref().expect("established implies keys");
+        let write_key = match self.role {
+            Role::Client => &keys.client_write,
+            Role::Server => &keys.server_write,
+        };
+        let seq = self.send_seq;
+        self.send_seq += 1;
+
+        let mut header = BytesMut::with_capacity(13);
+        header.put_u8(CT_APPDATA);
+        header.put_slice(&VERSION);
+        header.put_u64(seq);
+        header.put_u16((plaintext.len() + 16) as u16);
+
+        let mut ct = plaintext.to_vec();
+        apply_keystream(write_key, seq, &mut ct);
+        let mut mac_input = header.to_vec();
+        mac_input.extend_from_slice(&ct);
+        let tag = hmac_sha256(&keys.mac, &mac_input);
+
+        let mut out = BytesMut::with_capacity(13 + ct.len() + 16);
+        out.put_slice(&header);
+        out.put_slice(&ct);
+        out.put_slice(&tag[..16]);
+        Ok(out.freeze())
+    }
+
+    /// Decrypts an application-data record.
+    ///
+    /// # Errors
+    ///
+    /// [`DtlsError::BadRecord`] on authentication failure,
+    /// [`DtlsError::Replay`] for non-monotonic sequence numbers.
+    pub fn open(&mut self, record: &[u8]) -> Result<Bytes, DtlsError> {
+        // Implicit handshake completion (cf. DTLS epoch semantics): when
+        // only the client's Finished is outstanding, a record that passes
+        // MAC verification proves the peer holds the session keys, so the
+        // handshake is complete even if the Finished flight was lost.
+        let awaiting_finished =
+            matches!(self.state, State::AwaitClientFinished { .. }) && self.keys.is_some();
+        if !self.is_established() && !awaiting_finished {
+            return Err(DtlsError::NotEstablished);
+        }
+        if record.len() < 13 + 16 || record[0] != CT_APPDATA || record[1..3] != VERSION {
+            return Err(DtlsError::BadRecord);
+        }
+        let keys = self.keys.as_ref().expect("established or awaiting implies keys");
+        let read_key = match self.role {
+            Role::Client => &keys.server_write,
+            Role::Server => &keys.client_write,
+        };
+        let seq = u64::from_be_bytes(record[3..11].try_into().expect("length checked"));
+        let body_end = record.len() - 16;
+        let (header_and_ct, tag) = record.split_at(body_end);
+        let expect = hmac_sha256(&keys.mac, header_and_ct);
+        if !pdn_crypto::ct_eq(&expect[..16], tag) {
+            return Err(DtlsError::BadRecord);
+        }
+        if !self.replay.check_and_update(seq) {
+            return Err(DtlsError::Replay);
+        }
+        if awaiting_finished {
+            self.state = State::Established;
+        }
+        let mut pt = header_and_ct[13..].to_vec();
+        apply_keystream(read_key, seq, &mut pt);
+        Ok(Bytes::from(pt))
+    }
+}
+
+fn fill(buf: &mut [u8], rng: &mut SimRng) {
+    for chunk in buf.chunks_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes()[..chunk.len()]);
+    }
+}
+
+fn derive_keys(shared: u64, client_random: &[u8; 32], server_random: &[u8; 32]) -> SessionKeys {
+    let mut seed = Vec::with_capacity(8 + 64);
+    seed.extend_from_slice(&shared.to_be_bytes());
+    seed.extend_from_slice(client_random);
+    seed.extend_from_slice(server_random);
+    let master = sha256::digest(&seed);
+    SessionKeys {
+        client_write: hmac_sha256(&master, b"client write"),
+        server_write: hmac_sha256(&master, b"server write"),
+        mac: hmac_sha256(&master, b"record mac"),
+    }
+}
+
+/// XORs `buf` with a keystream derived from `(key, seq)`. Encryption and
+/// decryption are the same operation.
+fn apply_keystream(key: &[u8; 32], seq: u64, buf: &mut [u8]) {
+    for (block_idx, block) in buf.chunks_mut(32).enumerate() {
+        let mut h = sha256::Sha256::new();
+        h.update(key);
+        h.update(&seq.to_be_bytes());
+        h.update(&(block_idx as u64).to_be_bytes());
+        let ks = h.finalize();
+        for (b, k) in block.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+fn transcript_hash(client_hello: &[u8], server_random: &[u8; 32], server_pub: u64) -> [u8; 32] {
+    let mut h = sha256::Sha256::new();
+    h.update(client_hello);
+    h.update(server_random);
+    h.update(&server_pub.to_be_bytes());
+    h.finalize()
+}
+
+fn finished_mac(mac_key: &[u8; 32], label: &[u8], transcript: &[u8; 32]) -> [u8; 32] {
+    let mut input = label.to_vec();
+    input.extend_from_slice(transcript);
+    hmac_sha256(mac_key, &input)
+}
+
+/// Whether `data` looks like a DTLS record (content type 20–23 and DTLS 1.2
+/// version bytes) — the check the dynamic detector runs on captures.
+pub fn is_dtls(data: &[u8]) -> bool {
+    data.len() >= 3 && (20..=23).contains(&data[0]) && data[1..3] == VERSION
+}
+
+/// Runs a complete in-memory handshake between two endpoints (helper for
+/// tests and for harness code that does not need per-flight control).
+///
+/// # Errors
+///
+/// Propagates the first handshake error.
+pub fn handshake(
+    client: &mut DtlsEndpoint,
+    client_first_flight: Bytes,
+    server: &mut DtlsEndpoint,
+    rng: &mut SimRng,
+) -> Result<(), DtlsError> {
+    let server_flight = server
+        .handle_handshake(&client_first_flight, rng)?
+        .ok_or(DtlsError::Handshake("server produced no flight"))?;
+    let client_flight = client
+        .handle_handshake(&server_flight, rng)?
+        .ok_or(DtlsError::Handshake("client produced no flight"))?;
+    server.handle_handshake(&client_flight, rng)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(verify: bool) -> (DtlsEndpoint, DtlsEndpoint) {
+        let mut rng = SimRng::seed(33);
+        let ccert = Certificate::generate(&mut rng);
+        let scert = Certificate::generate(&mut rng);
+        let (cfp, sfp) = (ccert.fingerprint(), scert.fingerprint());
+        let (mut c, hello) = DtlsEndpoint::client(ccert, verify.then_some(sfp), &mut rng);
+        let mut s = DtlsEndpoint::server(scert, verify.then_some(cfp), &mut rng);
+        handshake(&mut c, hello, &mut s, &mut rng).expect("handshake");
+        (c, s)
+    }
+
+    #[test]
+    fn handshake_establishes_both_sides() {
+        let (c, s) = pair(true);
+        assert!(c.is_established());
+        assert!(s.is_established());
+        assert!(c.peer_fingerprint().is_some());
+    }
+
+    #[test]
+    fn data_roundtrip_both_directions() {
+        let (mut c, mut s) = pair(true);
+        let rec = c.seal(b"segment bytes").unwrap();
+        assert!(is_dtls(&rec));
+        assert_eq!(&s.open(&rec).unwrap()[..], b"segment bytes");
+        let rec = s.seal(b"reply").unwrap();
+        assert_eq!(&c.open(&rec).unwrap()[..], b"reply");
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let (mut c, _s) = pair(true);
+        let plaintext = b"SECRET-VIDEO-SEGMENT-CONTENT";
+        let rec = c.seal(plaintext).unwrap();
+        assert!(!rec
+            .windows(plaintext.len())
+            .any(|w| w == plaintext.as_slice()));
+    }
+
+    #[test]
+    fn tampered_record_rejected() {
+        let (mut c, mut s) = pair(true);
+        let rec = c.seal(b"data").unwrap();
+        let mut bad = rec.to_vec();
+        bad[14] ^= 0x01;
+        assert_eq!(s.open(&bad), Err(DtlsError::BadRecord));
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut c, mut s) = pair(true);
+        let rec = c.seal(b"data").unwrap();
+        assert!(s.open(&rec).is_ok());
+        assert_eq!(s.open(&rec), Err(DtlsError::Replay));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_detected() {
+        // A MITM presents its own certificate: the client, which expects the
+        // fingerprint signaled in SDP, must abort.
+        let mut rng = SimRng::seed(44);
+        let ccert = Certificate::generate(&mut rng);
+        let real_server = Certificate::generate(&mut rng);
+        let mitm = Certificate::generate(&mut rng);
+        let (mut c, hello) =
+            DtlsEndpoint::client(ccert, Some(real_server.fingerprint()), &mut rng);
+        let mut m = DtlsEndpoint::server(mitm, None, &mut rng);
+        let flight = m.handle_handshake(&hello, &mut rng).unwrap().unwrap();
+        assert_eq!(
+            c.handle_handshake(&flight, &mut rng),
+            Err(DtlsError::FingerprintMismatch)
+        );
+        assert!(!c.is_established());
+    }
+
+    #[test]
+    fn no_verification_accepts_anyone() {
+        // Endpoints that skip verification (None) interoperate with any
+        // certificate — the unsafe configuration the paper warns about.
+        let (c, s) = pair(false);
+        assert!(c.is_established() && s.is_established());
+    }
+
+    #[test]
+    fn seal_before_establishment_fails() {
+        let mut rng = SimRng::seed(5);
+        let cert = Certificate::generate(&mut rng);
+        let (mut c, _hello) = DtlsEndpoint::client(cert, None, &mut rng);
+        assert_eq!(c.seal(b"x"), Err(DtlsError::NotEstablished));
+    }
+
+    #[test]
+    fn garbage_handshake_fails_cleanly() {
+        let mut rng = SimRng::seed(6);
+        let cert = Certificate::generate(&mut rng);
+        let mut s = DtlsEndpoint::server(cert, None, &mut rng);
+        assert!(s.handle_handshake(b"junk", &mut rng).is_err());
+    }
+
+    #[test]
+    fn max_record_roundtrip_and_oversize_rejected() {
+        let (mut c, mut s) = pair(true);
+        let payload = vec![0xabu8; MAX_RECORD_PLAINTEXT];
+        let rec = c.seal(&payload).unwrap();
+        assert_eq!(&s.open(&rec).unwrap()[..], payload.as_slice());
+        assert_eq!(
+            c.seal(&vec![0u8; MAX_RECORD_PLAINTEXT + 1]),
+            Err(DtlsError::Oversize)
+        );
+    }
+
+    #[test]
+    fn forged_client_finished_rejected() {
+        let mut rng = SimRng::seed(77);
+        let ccert = Certificate::generate(&mut rng);
+        let scert = Certificate::generate(&mut rng);
+        let (mut _c, hello) = DtlsEndpoint::client(ccert, None, &mut rng);
+        let mut s = DtlsEndpoint::server(scert, None, &mut rng);
+        s.handle_handshake(&hello, &mut rng).unwrap();
+        // An attacker who never derived the keys forges a Finished.
+        let mut forged = vec![CT_HANDSHAKE, VERSION[0], VERSION[1], HS_CLIENT_FINISHED];
+        forged.extend_from_slice(&[0u8; 32]);
+        assert!(s.handle_handshake(&forged, &mut rng).is_err());
+        assert!(!s.is_established());
+    }
+
+    #[test]
+    fn is_dtls_distinguishes_stun() {
+        let stun = crate::stun::Message::binding_request([1; 12]).encode();
+        assert!(!is_dtls(&stun));
+        assert!(crate::stun::is_stun(&stun));
+    }
+}
+
+fn _assert_send() {
+    fn check<T: Send>() {}
+    check::<DtlsEndpoint>();
+}

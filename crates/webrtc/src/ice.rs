@@ -1,0 +1,543 @@
+//! A sans-IO ICE agent (RFC 8445 subset).
+//!
+//! The agent gathers host and server-reflexive candidates, exchanges them
+//! via signaling (the PDN server's job in Figure 1), and runs STUN
+//! connectivity checks until a pair validates. It is *sans-IO*: it never
+//! touches the network itself — callers feed it incoming packets and carry
+//! out the [`IceEvent::SendTo`] actions it emits, which is what lets the
+//! whole protocol run inside the deterministic simulator.
+//!
+//! Privacy note (§IV-D of the paper): every candidate the agent learns from
+//! its peer is recorded and available via [`IceAgent::remote_addrs_seen`] —
+//! run by an honest peer this is bookkeeping, run by a malicious peer it is
+//! the IP-harvesting attack.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use pdn_crypto::hmac::hmac_sha256;
+use pdn_simnet::{Addr, SimRng};
+
+use crate::cert::Fingerprint;
+use crate::sdp::{Candidate, CandidateKind, SessionDescription};
+use crate::stun::{Attribute, Class, Message, Method};
+
+/// Action or notification emitted by the agent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IceEvent {
+    /// Transmit `data` to `to` from the agent's local port.
+    SendTo {
+        /// Destination address.
+        to: Addr,
+        /// STUN payload.
+        data: Bytes,
+    },
+    /// Server-reflexive gathering finished (candidate list is final).
+    GatheringComplete,
+    /// A candidate pair validated; the connection is usable.
+    Connected {
+        /// The remote address of the selected pair.
+        remote: Addr,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxPurpose {
+    GatherSrflx,
+    Check { remote: Addr },
+}
+
+/// ICE agent state. See the [module docs](self).
+#[derive(Debug)]
+pub struct IceAgent {
+    local_ufrag: String,
+    local_pwd: String,
+    local_port: u16,
+    candidates: Vec<Candidate>,
+    remote: Option<SessionDescription>,
+    in_flight: HashMap<[u8; 12], TxPurpose>,
+    selected: Option<Addr>,
+    gathering_done: bool,
+    remote_addrs_seen: Vec<Addr>,
+    checked_remotes: std::collections::HashSet<Addr>,
+    checks_sent: u32,
+    rng: SimRng,
+}
+
+impl IceAgent {
+    /// Creates an agent listening on `local_port`, with fresh credentials.
+    pub fn new(local_port: u16, rng: &mut SimRng) -> Self {
+        let mut rng = rng.fork(local_port as u64 | 0x1ce0_0000);
+        let ufrag = format!("u{:08x}", rng.next_u64() as u32);
+        let pwd = format!("p{:016x}", rng.next_u64());
+        Self::with_credentials(local_port, ufrag, pwd, rng)
+    }
+
+    /// Creates an agent with caller-provided credentials.
+    ///
+    /// WebRTC shares one ufrag/pwd per peer session; the PDN SDK runs one
+    /// connection agent per neighbor but signals a single SDP, so all of a
+    /// peer's agents must answer to the same credentials.
+    pub fn with_credentials(
+        local_port: u16,
+        ufrag: String,
+        pwd: String,
+        rng: SimRng,
+    ) -> Self {
+        IceAgent {
+            local_ufrag: ufrag,
+            local_pwd: pwd,
+            local_port,
+            candidates: Vec::new(),
+            remote: None,
+            in_flight: HashMap::new(),
+            selected: None,
+            gathering_done: false,
+            remote_addrs_seen: Vec::new(),
+            checked_remotes: std::collections::HashSet::new(),
+            checks_sent: 0,
+            rng,
+        }
+    }
+
+    /// The local port checks are sent from.
+    pub fn local_port(&self) -> u16 {
+        self.local_port
+    }
+
+    /// Local ICE credentials `(ufrag, pwd)`.
+    pub fn credentials(&self) -> (&str, &str) {
+        (&self.local_ufrag, &self.local_pwd)
+    }
+
+    /// Adds the host candidate (the peer's own interface address).
+    ///
+    /// For NAT'd peers this is a private address; signaling it is the
+    /// bogon-leak mechanism of §IV-D.
+    pub fn add_host_candidate(&mut self, addr: Addr) {
+        self.candidates
+            .push(Candidate::new(CandidateKind::Host, addr));
+    }
+
+    /// Adds a relay candidate (allocated out-of-band on a TURN server).
+    pub fn add_relay_candidate(&mut self, addr: Addr) {
+        self.candidates
+            .push(Candidate::new(CandidateKind::Relay, addr));
+    }
+
+    /// Adds a pre-built candidate (e.g. copied from a shared gatherer).
+    pub fn add_candidate(&mut self, candidate: Candidate) {
+        if !self.candidates.iter().any(|c| c.addr == candidate.addr) {
+            self.candidates.push(candidate);
+        }
+    }
+
+    /// Starts server-reflexive gathering against `stun_server`.
+    pub fn gather_srflx(&mut self, stun_server: Addr) -> Vec<IceEvent> {
+        let txid = self.fresh_txid();
+        self.in_flight.insert(txid, TxPurpose::GatherSrflx);
+        vec![IceEvent::SendTo {
+            to: stun_server,
+            data: Message::binding_request(txid)
+                .with(Attribute::Software("pdn-sim-ice".into()))
+                .encode(),
+        }]
+    }
+
+    /// Marks gathering complete without a STUN server (host-only).
+    pub fn finish_gathering(&mut self) {
+        self.gathering_done = true;
+    }
+
+    /// The local session description to signal.
+    pub fn local_description(&self, fingerprint: Fingerprint) -> SessionDescription {
+        SessionDescription {
+            ice_ufrag: self.local_ufrag.clone(),
+            ice_pwd: self.local_pwd.clone(),
+            fingerprint,
+            candidates: self.candidates.clone(),
+        }
+    }
+
+    /// Installs the remote description received over signaling.
+    pub fn set_remote(&mut self, remote: SessionDescription) {
+        for c in &remote.candidates {
+            self.remote_addrs_seen.push(c.addr);
+        }
+        self.remote = Some(remote);
+    }
+
+    /// Emits connectivity checks toward every remote candidate, highest
+    /// priority first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no remote description was set.
+    pub fn start_checks(&mut self) -> Vec<IceEvent> {
+        let remote = self.remote.as_ref().expect("remote description set");
+        let mut targets: Vec<Candidate> = remote.candidates.clone();
+        targets.sort_by(|a, b| b.priority.cmp(&a.priority));
+        let username = format!("{}:{}", remote.ice_ufrag, self.local_ufrag);
+        let pwd = remote.ice_pwd.clone();
+        let mut out = Vec::new();
+        for cand in targets {
+            if !self.checked_remotes.insert(cand.addr) {
+                continue;
+            }
+            let txid = self.fresh_txid();
+            self.in_flight
+                .insert(txid, TxPurpose::Check { remote: cand.addr });
+            self.checks_sent += 1;
+            let msg = Message::binding_request(txid)
+                .with(Attribute::Username(username.clone()))
+                .with(Attribute::Priority(cand.priority))
+                .with(Attribute::MessageIntegrity(hmac_sha256(
+                    pwd.as_bytes(),
+                    &txid,
+                )));
+            out.push(IceEvent::SendTo {
+                to: cand.addr,
+                data: msg.encode(),
+            });
+        }
+        out
+    }
+
+    /// Re-sends connectivity checks to every remote candidate that has not
+    /// validated yet (with fresh transaction IDs).
+    ///
+    /// ICE retransmits checks on a timer; in particular, hole punching
+    /// through address-restricted NATs only succeeds on a retry *after*
+    /// the other side's own check opened its mapping.
+    pub fn retransmit_checks(&mut self) -> Vec<IceEvent> {
+        if self.selected.is_some() {
+            return Vec::new();
+        }
+        let Some(remote) = self.remote.as_ref() else {
+            return Vec::new();
+        };
+        let username = format!("{}:{}", remote.ice_ufrag, self.local_ufrag);
+        let pwd = remote.ice_pwd.clone();
+        let targets: Vec<Addr> = remote.candidates.iter().map(|c| c.addr).collect();
+        let mut out = Vec::new();
+        for addr in targets {
+            let txid = self.fresh_txid();
+            self.in_flight.insert(txid, TxPurpose::Check { remote: addr });
+            self.checks_sent += 1;
+            let msg = Message::binding_request(txid)
+                .with(Attribute::Username(username.clone()))
+                .with(Attribute::MessageIntegrity(hmac_sha256(
+                    pwd.as_bytes(),
+                    &txid,
+                )));
+            out.push(IceEvent::SendTo {
+                to: addr,
+                data: msg.encode(),
+            });
+        }
+        out
+    }
+
+    /// Processes an incoming packet on the agent's port.
+    ///
+    /// Non-STUN packets are ignored (returns empty).
+    pub fn handle_packet(&mut self, from: Addr, data: &[u8]) -> Vec<IceEvent> {
+        let Ok(msg) = Message::decode(data) else {
+            return Vec::new();
+        };
+        match (msg.class, msg.method) {
+            (Class::Success, Method::Binding) => self.on_success(from, &msg),
+            (Class::Request, Method::Binding) => self.on_check(from, &msg),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_success(&mut self, from: Addr, msg: &Message) -> Vec<IceEvent> {
+        let Some(purpose) = self.in_flight.remove(&msg.transaction_id) else {
+            return Vec::new();
+        };
+        match purpose {
+            TxPurpose::GatherSrflx => {
+                let mut events = Vec::new();
+                if let Some(mapped) = msg.mapped_address() {
+                    // Only add a distinct srflx candidate if the mapping
+                    // differs from every host candidate.
+                    if !self.candidates.iter().any(|c| c.addr == mapped) {
+                        self.candidates
+                            .push(Candidate::new(CandidateKind::ServerReflexive, mapped));
+                    }
+                }
+                self.gathering_done = true;
+                events.push(IceEvent::GatheringComplete);
+                events
+            }
+            TxPurpose::Check { remote } => {
+                let _ = from;
+                if self.selected.is_none() {
+                    self.selected = Some(remote);
+                    vec![IceEvent::Connected { remote }]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    fn on_check(&mut self, from: Addr, msg: &Message) -> Vec<IceEvent> {
+        // Verify the check is for us (USERNAME = local_ufrag:remote_ufrag)
+        // and carries a MAC under our password.
+        let Some(username) = msg.username() else {
+            return Vec::new();
+        };
+        if username.split(':').next() != Some(self.local_ufrag.as_str()) {
+            return Vec::new();
+        }
+        let mac_ok = msg.attributes.iter().any(|a| {
+            matches!(a, Attribute::MessageIntegrity(mac)
+                if pdn_crypto::ct_eq(mac, &hmac_sha256(self.local_pwd.as_bytes(), &msg.transaction_id)))
+        });
+        if !mac_ok {
+            let err = Message::new(Class::Error, Method::Binding, msg.transaction_id)
+                .with(Attribute::ErrorCode(401, "Unauthorized".into()));
+            return vec![IceEvent::SendTo {
+                to: from,
+                data: err.encode(),
+            }];
+        }
+        // Record the remote peer address (triggered check = leak datum) and
+        // respond with the reflexive address.
+        if !self.remote_addrs_seen.contains(&from) {
+            self.remote_addrs_seen.push(from);
+        }
+        let resp = Message::binding_success(msg.transaction_id, from);
+        let mut events = vec![IceEvent::SendTo {
+            to: from,
+            data: resp.encode(),
+        }];
+        // Triggered check: if we have the remote description, no selected
+        // pair yet, and we have not already probed this source, probe back.
+        if self.selected.is_none() && !self.checked_remotes.contains(&from) {
+            if let Some(remote) = &self.remote {
+                self.checked_remotes.insert(from);
+                let username = format!("{}:{}", remote.ice_ufrag, self.local_ufrag);
+                let pwd = remote.ice_pwd.clone();
+                let txid = self.fresh_txid();
+                self.in_flight
+                    .insert(txid, TxPurpose::Check { remote: from });
+                let check = Message::binding_request(txid)
+                    .with(Attribute::Username(username))
+                    .with(Attribute::MessageIntegrity(hmac_sha256(
+                        pwd.as_bytes(),
+                        &txid,
+                    )));
+                events.push(IceEvent::SendTo {
+                    to: from,
+                    data: check.encode(),
+                });
+            }
+        }
+        events
+    }
+
+    /// The validated remote address, once connected.
+    pub fn selected_remote(&self) -> Option<Addr> {
+        self.selected
+    }
+
+    /// Whether candidate gathering finished.
+    pub fn is_gathering_complete(&self) -> bool {
+        self.gathering_done
+    }
+
+    /// Local candidates gathered so far.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// Every remote address this agent has learned — from signaled
+    /// candidates and from observed check sources. This is the data a
+    /// malicious peer harvests in the IP-leak attack.
+    pub fn remote_addrs_seen(&self) -> &[Addr] {
+        &self.remote_addrs_seen
+    }
+
+    /// Number of connectivity checks sent.
+    pub fn checks_sent(&self) -> u32 {
+        self.checks_sent
+    }
+
+    fn fresh_txid(&mut self) -> [u8; 12] {
+        let mut id = [0u8; 12];
+        let a = self.rng.next_u64().to_le_bytes();
+        let b = self.rng.next_u64().to_le_bytes();
+        id[..8].copy_from_slice(&a);
+        id[8..].copy_from_slice(&b[..4]);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::Certificate;
+
+    fn agent(port: u16, seed: u64) -> IceAgent {
+        let mut rng = SimRng::seed(seed);
+        IceAgent::new(port, &mut rng)
+    }
+
+    fn fp(seed: u64) -> Fingerprint {
+        let mut rng = SimRng::seed(seed);
+        Certificate::generate(&mut rng).fingerprint()
+    }
+
+    /// Directly connects two agents on public addresses by ferrying their
+    /// events, asserting both reach Connected.
+    #[test]
+    fn two_agents_connect_via_checks() {
+        let addr_a = Addr::new(20, 0, 0, 1, 5000);
+        let addr_b = Addr::new(20, 0, 0, 2, 5000);
+        let mut a = agent(5000, 1);
+        let mut b = agent(5000, 2);
+        a.add_host_candidate(addr_a);
+        b.add_host_candidate(addr_b);
+        a.finish_gathering();
+        b.finish_gathering();
+        a.set_remote(b.local_description(fp(1)));
+        b.set_remote(a.local_description(fp(2)));
+
+        // Ferry messages: (from_addr, to_addr, bytes) queue.
+        let mut wire: Vec<(Addr, Addr, Bytes)> = Vec::new();
+        for ev in a.start_checks() {
+            if let IceEvent::SendTo { to, data } = ev {
+                wire.push((addr_a, to, data));
+            }
+        }
+        let mut a_connected = false;
+        let mut b_connected = false;
+        let mut hops = 0;
+        while let Some((from, to, data)) = wire.pop() {
+            hops += 1;
+            assert!(hops < 100, "ICE must converge");
+            let (target, target_addr) = if to == addr_a {
+                (&mut a, addr_a)
+            } else {
+                (&mut b, addr_b)
+            };
+            for ev in target.handle_packet(from, &data) {
+                match ev {
+                    IceEvent::SendTo { to, data } => wire.push((target_addr, to, data)),
+                    IceEvent::Connected { .. } => {
+                        if target_addr == addr_a {
+                            a_connected = true;
+                        } else {
+                            b_connected = true;
+                        }
+                    }
+                    IceEvent::GatheringComplete => {}
+                }
+            }
+        }
+        assert!(a_connected && b_connected);
+        assert_eq!(a.selected_remote(), Some(addr_b));
+        assert_eq!(b.selected_remote(), Some(addr_a));
+    }
+
+    #[test]
+    fn srflx_gathering_adds_candidate() {
+        let mut a = agent(4000, 3);
+        let stun = Addr::new(30, 0, 0, 1, 3478);
+        let events = a.gather_srflx(stun);
+        let IceEvent::SendTo { to, data } = &events[0] else {
+            panic!("expected SendTo");
+        };
+        assert_eq!(*to, stun);
+        let req = Message::decode(data).unwrap();
+        // The STUN server reflects the (NAT-mapped) source address.
+        let mapped = Addr::new(99, 99, 99, 99, 41_000);
+        let resp = Message::binding_success(req.transaction_id, mapped).encode();
+        let events = a.handle_packet(stun, &resp);
+        assert!(events.contains(&IceEvent::GatheringComplete));
+        assert!(a.is_gathering_complete());
+        assert!(a
+            .candidates()
+            .iter()
+            .any(|c| c.kind == CandidateKind::ServerReflexive && c.addr == mapped));
+    }
+
+    #[test]
+    fn check_with_wrong_password_rejected() {
+        let mut a = agent(4000, 4);
+        a.add_host_candidate(Addr::new(20, 0, 0, 1, 4000));
+        let striker = Addr::new(66, 6, 6, 6, 1000);
+        let txid = [9u8; 12];
+        let check = Message::binding_request(txid)
+            .with(Attribute::Username(format!(
+                "{}:attacker",
+                a.credentials().0
+            )))
+            .with(Attribute::MessageIntegrity(hmac_sha256(b"wrongpwd", &txid)));
+        let events = a.handle_packet(striker, &check.encode());
+        // Response is a 401 error, and no triggered check goes out.
+        assert_eq!(events.len(), 1);
+        let IceEvent::SendTo { data, .. } = &events[0] else {
+            panic!("expected SendTo");
+        };
+        let resp = Message::decode(data).unwrap();
+        assert_eq!(resp.class, Class::Error);
+        assert!(a.remote_addrs_seen().is_empty());
+    }
+
+    #[test]
+    fn check_for_other_agent_ignored() {
+        let mut a = agent(4000, 5);
+        let check = Message::binding_request([1; 12])
+            .with(Attribute::Username("someoneelse:me".into()));
+        assert!(a
+            .handle_packet(Addr::new(1, 1, 1, 1, 1), &check.encode())
+            .is_empty());
+    }
+
+    #[test]
+    fn remote_candidates_are_harvested() {
+        // The privacy finding: merely *signaling* with a peer leaks all its
+        // candidate addresses, before any media flows.
+        let mut a = agent(4000, 6);
+        let mut b = agent(4000, 7);
+        b.add_host_candidate(Addr::new(10, 1, 2, 3, 4000)); // private!
+        b.add_host_candidate(Addr::new(77, 1, 2, 3, 4000));
+        a.set_remote(b.local_description(fp(3)));
+        let seen = a.remote_addrs_seen();
+        assert_eq!(seen.len(), 2);
+        assert!(seen.contains(&Addr::new(10, 1, 2, 3, 4000)));
+    }
+
+    #[test]
+    fn non_stun_ignored() {
+        let mut a = agent(4000, 8);
+        assert!(a
+            .handle_packet(Addr::new(1, 1, 1, 1, 1), b"not stun at all......")
+            .is_empty());
+    }
+
+    #[test]
+    fn duplicate_success_selects_once() {
+        let mut a = agent(4000, 9);
+        let remote_addr = Addr::new(50, 0, 0, 1, 5000);
+        let mut b = agent(5000, 10);
+        b.add_host_candidate(remote_addr);
+        a.set_remote(b.local_description(fp(4)));
+        let checks = a.start_checks();
+        assert_eq!(checks.len(), 1);
+        let IceEvent::SendTo { data, .. } = &checks[0] else {
+            panic!()
+        };
+        let req = Message::decode(data).unwrap();
+        let resp = Message::binding_success(req.transaction_id, Addr::new(9, 9, 9, 9, 1)).encode();
+        let ev1 = a.handle_packet(remote_addr, &resp);
+        assert!(matches!(ev1[..], [IceEvent::Connected { .. }]));
+        // Unknown/duplicate transaction: ignored.
+        let ev2 = a.handle_packet(remote_addr, &resp);
+        assert!(ev2.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! Ecosystem scan: run the §III detection pipeline end to end and print
+//! Tables I–IV.
+//!
+//! ```sh
+//! cargo run --example ecosystem_scan
+//! ```
+
+use pdn_detector::{corpus, tables, DetectionReport};
+use pdn_simnet::SimRng;
+
+fn main() {
+    let mut rng = SimRng::seed(2024);
+    println!("generating synthetic ecosystem (Tranco+Androzoo stand-in)…");
+    let eco = corpus::generate(corpus::CorpusConfig::default(), &mut rng);
+    println!(
+        "  {} websites, {} apps\n",
+        eco.websites.len(),
+        eco.apps.len()
+    );
+
+    println!("running static scan + dynamic confirmation (US + CN vantages)…\n");
+    let report = tables::run_pipeline(&eco, &mut rng);
+
+    println!("{}", report.render_table1());
+    println!(
+        "{}",
+        DetectionReport::render_confirmed(&report.table2, "TABLE II: Confirmed PDN websites")
+    );
+    println!(
+        "{}",
+        DetectionReport::render_confirmed(&report.table3, "TABLE III: Confirmed PDN apps")
+    );
+    println!("{}", report.render_table4());
+
+    let t = &report.triage;
+    println!(
+        "private-PDN triage: {} generic WebRTC matches, {} in top-10K → \
+         {} private PDNs, {} TURN-relayed, {} tracking, {} untriggered",
+        t.generic_matches,
+        t.top10k_candidates,
+        t.confirmed_private,
+        t.turn_relayed,
+        t.tracking,
+        t.untriggered
+    );
+    println!(
+        "extracted {} API keys for the §IV-B field study",
+        report.keys.len()
+    );
+}

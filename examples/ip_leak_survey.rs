@@ -1,0 +1,64 @@
+//! The §IV-D IP-leak field study: a controlled peer harvesting viewer IPs
+//! from live channels for a simulated week, with the §V-C mitigations.
+//!
+//! ```sh
+//! cargo run --release --example ip_leak_survey
+//! ```
+
+use pdn_core::ip_leak::{huya_population, rt_news_population, run_wild};
+use pdn_provider::MatchingPolicy;
+
+fn print_result(r: &pdn_core::IpLeakWildResult) {
+    println!(
+        "{:<10} arrivals {:>6}  unique IPs {:>6}  public {:>6}  bogons {:>4} \
+         (private {}, nat {}, reserved {})",
+        r.name, r.arrivals, r.unique_ips, r.public_ips, r.bogons,
+        r.bogon_private, r.bogon_cgnat, r.bogon_reserved
+    );
+    let mut top: Vec<(&String, &usize)> = r.countries.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1));
+    let head: Vec<String> = top
+        .iter()
+        .take(3)
+        .map(|(c, n)| format!("{c} {:.0}%", **n as f64 / r.public_ips.max(1) as f64 * 100.0))
+        .collect();
+    println!(
+        "{:<10} countries {:>3} cities {:>4}   top: {}",
+        "", r.countries.len(), r.cities, head.join(", ")
+    );
+}
+
+fn main() {
+    println!("== one-week harvest from a single controlled peer (US) ==\n");
+    let huya = run_wild(&huya_population(), MatchingPolicy::Global, "US", 7.0, 1);
+    print_result(&huya);
+    let rt = run_wild(&rt_news_population(), MatchingPolicy::Global, "US", 7.0, 2);
+    print_result(&rt);
+    println!(
+        "\ntotal unique IPs harvested: {}",
+        huya.unique_ips + rt.unique_ips
+    );
+
+    println!("\n== §V-C mitigation: same-country peer matching ==\n");
+    let huya_m = run_wild(&huya_population(), MatchingPolicy::SameCountry, "US", 7.0, 1);
+    print_result(&huya_m);
+    let rt_m = run_wild(&rt_news_population(), MatchingPolicy::SameCountry, "US", 7.0, 2);
+    print_result(&rt_m);
+    println!(
+        "\nleak reduction: Huya {} → {}   RT News {} → {} ({}% of baseline)",
+        huya.unique_ips,
+        huya_m.unique_ips,
+        rt.unique_ips,
+        rt_m.unique_ips,
+        (rt_m.unique_ips as f64 / rt.unique_ips.max(1) as f64 * 100.0) as u32
+    );
+
+    println!("\n== §V-C fundamental fix: TURN relaying (end-to-end world) ==\n");
+    let (p2p, relayed, leaked) = pdn_core::defense::privacy::evaluate_relay_world(3);
+    println!(
+        "P2P bytes {} KB all via relay ({} KB relayed), real peer IPs leaked: {}",
+        p2p / 1000,
+        relayed / 1000,
+        leaked
+    );
+}

@@ -1,0 +1,43 @@
+//! The §IV-C content pollution attacks, with and without the §V-B defense.
+//!
+//! ```sh
+//! cargo run --example pollution_attack
+//! ```
+
+use pdn_core::pollution::{run_pollution, PollutionMode};
+use pdn_provider::{AuthScheme, ProviderProfile};
+
+fn report(label: &str, r: &pdn_core::PollutionResult) {
+    println!(
+        "{label:<34} {:<9} polluted played {:>2}/{:<2}  isolated={} rejections={} blacklisted={}",
+        if r.attack_succeeded() { "SUCCESS" } else { "blocked" },
+        r.victim_polluted_played,
+        r.victim_total_played,
+        r.attacker_isolated,
+        r.victim_rejections,
+        r.attacker_blacklisted,
+    );
+}
+
+fn main() {
+    println!("content pollution attacks against a Peer5-like provider\n");
+    let profile = ProviderProfile::peer5();
+    let slow_start = profile.slow_start_segments;
+
+    println!("1. direct content pollution (manifest + every segment):");
+    let r = run_pollution(&profile, PollutionMode::Direct, 2, 1);
+    report("   direct", &r);
+    println!("   → the doctored manifest lands the attacker in its own swarm\n");
+
+    println!("2. video segment pollution (manifest + slow start intact):");
+    let r = run_pollution(&profile, PollutionMode::FromSeq(slow_start), 2, 2);
+    report("   segment", &r);
+    println!("   → victims play polluted segments served by the controlled peer\n");
+
+    println!("3. same attack against the §V-B peer-assisted integrity checking:");
+    let mut hardened = ProviderProfile::hardened(&profile);
+    hardened.auth = AuthScheme::StaticApiKey;
+    let r = run_pollution(&hardened, PollutionMode::FromSeq(slow_start), 2, 3);
+    report("   segment vs defense", &r);
+    println!("   → SIM verification rejects the polluted bytes; the liar is expelled");
+}

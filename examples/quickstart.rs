@@ -1,0 +1,68 @@
+//! Quickstart: build a PDN world, stream a video between two viewers, and
+//! inspect what the provider, the CDN and the viewers each saw.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::time::Duration;
+
+use pdn_media::VideoSource;
+use pdn_provider::world::{PdnWorld, ViewerSpec};
+use pdn_provider::{AgentConfig, CustomerAccount, ProviderProfile};
+use pdn_simnet::SimTime;
+
+fn main() {
+    // A Peer5-like provider with one registered customer.
+    let mut world = PdnWorld::new(ProviderProfile::peer5(), 7);
+    world.server_mut().accounts_mut().register(CustomerAccount::new(
+        "acme-video",
+        "acme-api-key",
+        ["acme.tv".to_string()],
+    ));
+
+    // A 2-minute VOD published on the CDN origin.
+    world.publish_video(VideoSource::vod(
+        "https://acme.tv/launch.m3u8",
+        vec![1_000_000],
+        Duration::from_secs(4),
+        30,
+    ));
+
+    // Two viewers: the second joins late and leeches off the first.
+    let mut cfg = AgentConfig::new("https://acme.tv/launch.m3u8", "acme-api-key", "acme.tv");
+    cfg.vod_end = Some(30);
+    let alice = world.spawn_viewer(ViewerSpec::residential(cfg.clone()));
+    world.run_until(SimTime::from_secs(10));
+    let bob = world.spawn_viewer(ViewerSpec::residential(cfg));
+    world.run_until(SimTime::from_secs(150));
+
+    for (name, node) in [("alice", alice), ("bob", bob)] {
+        let agent = world.agent(node);
+        let (up, down, cdn) = agent.traffic();
+        println!(
+            "{name}: played {} segments, {} stalls, offload {:.0}%  (p2p up {} KB, p2p down {} KB, cdn {} KB)",
+            agent.player().played().len(),
+            agent.player().stalls().len(),
+            agent.player().p2p_offload_ratio() * 100.0,
+            up / 1000,
+            down / 1000,
+            cdn / 1000,
+        );
+    }
+
+    let meter = world.server().meter("acme-video");
+    println!(
+        "provider metered: {} joins, {} KB P2P traffic, {} viewer-seconds",
+        meter.joins,
+        meter.p2p_bytes / 1000,
+        meter.viewer_seconds
+    );
+    let bill = world.cdn().bill();
+    println!(
+        "CDN served {} requests, {} MB egress, ${:.4}",
+        bill.requests,
+        bill.egress_bytes / 1_000_000,
+        bill.cost_usd
+    );
+}

@@ -1,0 +1,126 @@
+//! Failure injection: PDN components die mid-session and viewers must
+//! degrade gracefully — the PDN is a *plugin* on top of the CDN (§III-A),
+//! so losing it must never lose playback.
+
+use pdn_media::VideoSource;
+use pdn_provider::world::{PdnWorld, ViewerSpec};
+use pdn_provider::{AgentConfig, CustomerAccount, ProviderProfile};
+use pdn_simnet::SimTime;
+use std::time::Duration;
+
+const SEGMENTS: u64 = 20;
+
+fn world(seed: u64) -> (PdnWorld, pdn_simnet::NodeId, pdn_simnet::NodeId) {
+    let mut world = PdnWorld::new(ProviderProfile::peer5(), seed);
+    world
+        .server_mut()
+        .accounts_mut()
+        .register(CustomerAccount::new("c", "k", []));
+    world.publish_video(VideoSource::vod(
+        "v",
+        vec![800_000],
+        Duration::from_secs(4),
+        SEGMENTS,
+    ));
+    let mut cfg = AgentConfig::new("v", "k", "site.tv");
+    cfg.vod_end = Some(SEGMENTS);
+    let a = world.spawn_viewer(ViewerSpec::residential(cfg.clone()));
+    world.run_until(SimTime::from_secs(8));
+    let b = world.spawn_viewer(ViewerSpec::residential(cfg));
+    (world, a, b)
+}
+
+#[test]
+fn serving_peer_dies_mid_stream() {
+    let (mut world, a, b) = world(1);
+    // Let B start leeching off A, then kill A.
+    world.run_until(SimTime::from_secs(25));
+    let (_, down_before, _) = world.agent(b).traffic();
+    assert!(down_before > 0, "B was leeching before the failure");
+    world.net_mut().set_alive(a, false);
+    world.run_until(SimTime::from_secs(160));
+    // B recovers via request timeouts + CDN fallback and finishes.
+    assert_eq!(
+        world.agent(b).player().played().len(),
+        SEGMENTS as usize,
+        "B finished despite its only neighbor dying"
+    );
+    let (_, _, cdn) = world.agent(b).traffic();
+    assert!(cdn > 0, "CDN fallback carried the tail");
+}
+
+#[test]
+fn signaling_server_outage_degrades_to_pure_cdn() {
+    let mut world = PdnWorld::new(ProviderProfile::peer5(), 2);
+    world
+        .server_mut()
+        .accounts_mut()
+        .register(CustomerAccount::new("c", "k", []));
+    world.publish_video(VideoSource::vod(
+        "v",
+        vec![800_000],
+        Duration::from_secs(4),
+        SEGMENTS,
+    ));
+    // Kill the signaling server *before* anyone joins: joins are lost, but
+    // playback must proceed (the PDN is an overlay on the CDN path).
+    let signal_ip = world.signal_addr().ip;
+    let signal_node = (0..3)
+        .map(pdn_simnet::NodeId)
+        .find(|n| world.net().ip(*n) == signal_ip)
+        .expect("signaling node is one of the infra nodes");
+    world.net_mut().set_alive(signal_node, false);
+
+    let mut cfg = AgentConfig::new("v", "k", "site.tv");
+    cfg.vod_end = Some(SEGMENTS);
+    let a = world.spawn_viewer(ViewerSpec::residential(cfg));
+    world.run_until(SimTime::from_secs(160));
+    assert!(world.agent(a).peer_id().is_none(), "join never completed");
+    assert_eq!(
+        world.agent(a).player().played().len(),
+        SEGMENTS as usize,
+        "playback unaffected by the PDN outage"
+    );
+}
+
+#[test]
+fn lossy_links_still_converge() {
+    // 5% UDP loss: ICE/DTLS retransmission and CDN fallback keep things
+    // working, if slower.
+    let mut world = PdnWorld::new(ProviderProfile::peer5(), 3);
+    world
+        .server_mut()
+        .accounts_mut()
+        .register(CustomerAccount::new("c", "k", []));
+    world.publish_video(VideoSource::vod(
+        "v",
+        vec![600_000],
+        Duration::from_secs(4),
+        SEGMENTS,
+    ));
+    let mut cfg = AgentConfig::new("v", "k", "site.tv");
+    cfg.vod_end = Some(SEGMENTS);
+    let lossy = pdn_simnet::LinkSpec {
+        loss: 0.025, // 2.5% per side = ~5% per path
+        ..pdn_simnet::LinkSpec::residential()
+    };
+    let spawn = |world: &mut PdnWorld, cfg: &AgentConfig| {
+        world.spawn_viewer(ViewerSpec {
+            geo: pdn_simnet::GeoInfo::new("US", 1, "AS7922"),
+            nat: None,
+            link: lossy,
+            config: cfg.clone(),
+        })
+    };
+    let a = spawn(&mut world, &cfg);
+    world.run_until(SimTime::from_secs(8));
+    let b = spawn(&mut world, &cfg);
+    world.run_until(SimTime::from_secs(240));
+    for v in [a, b] {
+        assert_eq!(
+            world.agent(v).player().played().len(),
+            SEGMENTS as usize,
+            "viewer completed under loss"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Cross-crate integration: the §III-C dynamic detector must recognise the
+//! traffic of a *live simulated PDN world* (not just synthesized traces) —
+//! and must not flag a pure-CDN control world.
+
+use pdn_detector::analyze_capture;
+use pdn_media::VideoSource;
+use pdn_provider::world::{PdnWorld, ViewerSpec};
+use pdn_provider::{AgentConfig, CustomerAccount, ProviderProfile};
+use pdn_simnet::SimTime;
+use std::time::Duration;
+
+fn world(pdn_enabled: bool, seed: u64) -> (PdnWorld, Vec<pdn_simnet::NodeId>) {
+    let mut world = PdnWorld::new(ProviderProfile::peer5(), seed);
+    world
+        .server_mut()
+        .accounts_mut()
+        .register(CustomerAccount::new("c", "k", []));
+    world.publish_video(VideoSource::vod(
+        "v",
+        vec![800_000],
+        Duration::from_secs(4),
+        15,
+    ));
+    let mut cfg = AgentConfig::new("v", "k", "site.tv");
+    cfg.pdn_enabled = pdn_enabled;
+    cfg.vod_end = Some(15);
+    world.net_mut().set_capture(true);
+    let a = world.spawn_viewer(ViewerSpec::residential(cfg.clone()));
+    world.run_until(SimTime::from_secs(8));
+    let b = world.spawn_viewer(ViewerSpec::residential(cfg));
+    world.run_until(SimTime::from_secs(80));
+    (world, vec![a, b])
+}
+
+#[test]
+fn detector_confirms_pdn_world_capture() {
+    let (world, viewers) = world(true, 1);
+    let infra = [
+        world.stun_addr().ip,
+        world.signal_addr().ip,
+        world.cdn_addr().ip,
+    ];
+    let report = analyze_capture(world.net().capture(), &infra);
+    assert!(report.stun_binding_requests > 0, "STUN visible on the wire");
+    assert!(report.pdn_confirmed, "DTLS between candidate peers");
+    // The harvested peer IPs include both viewers' public addresses.
+    for v in viewers {
+        assert!(report.peer_ips.contains(&world.net().public_ip(v)));
+    }
+    // Infra is never misclassified as a peer.
+    for ip in infra {
+        assert!(!report.peer_ips.contains(&ip));
+    }
+}
+
+#[test]
+fn detector_rejects_pure_cdn_world_capture() {
+    let (world, _) = world(false, 2);
+    let infra = [
+        world.stun_addr().ip,
+        world.signal_addr().ip,
+        world.cdn_addr().ip,
+    ];
+    let report = analyze_capture(world.net().capture(), &infra);
+    assert_eq!(report.stun_binding_requests, 0);
+    assert!(!report.pdn_confirmed);
+    assert!(report.peer_ips.is_empty());
+}

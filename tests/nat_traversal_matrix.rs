@@ -1,0 +1,73 @@
+//! Cross-crate validation: the analytic NAT traversal matrix
+//! (`NatKind::traversal_possible`) must agree with what actually happens
+//! when two SDK peers behind those NATs try to connect through the full
+//! STUN/ICE/DTLS stack — and whenever direct P2P is impossible, the
+//! viewers must still finish playback via CDN fallback.
+
+use pdn_media::VideoSource;
+use pdn_provider::world::{PdnWorld, ViewerSpec};
+use pdn_provider::{AgentConfig, CustomerAccount, ProviderProfile};
+use pdn_simnet::{GeoInfo, LinkSpec, NatKind, SimTime};
+use std::time::Duration;
+
+const KINDS: [NatKind; 4] = [
+    NatKind::FullCone,
+    NatKind::RestrictedCone,
+    NatKind::PortRestrictedCone,
+    NatKind::Symmetric,
+];
+
+fn run_pair(a: NatKind, b: NatKind, seed: u64) -> (bool, usize, usize) {
+    let mut world = PdnWorld::new(ProviderProfile::peer5(), seed);
+    world
+        .server_mut()
+        .accounts_mut()
+        .register(CustomerAccount::new("c", "k", []));
+    world.publish_video(VideoSource::vod(
+        "v",
+        vec![600_000],
+        Duration::from_secs(4),
+        12,
+    ));
+    let mut cfg = AgentConfig::new("v", "k", "site.tv");
+    cfg.vod_end = Some(12);
+    let spawn = |world: &mut PdnWorld, kind: NatKind, cfg: &AgentConfig| {
+        world.spawn_viewer(ViewerSpec {
+            geo: GeoInfo::new("US", 1, "AS7922"),
+            nat: Some(kind),
+            link: LinkSpec::residential(),
+            config: cfg.clone(),
+        })
+    };
+    let va = spawn(&mut world, a, &cfg);
+    world.run_until(SimTime::from_secs(6));
+    let vb = spawn(&mut world, b, &cfg);
+    world.run_until(SimTime::from_secs(120));
+    let connected =
+        world.agent(va).established_conns() > 0 && world.agent(vb).established_conns() > 0;
+    (
+        connected,
+        world.agent(va).player().played().len(),
+        world.agent(vb).player().played().len(),
+    )
+}
+
+#[test]
+fn traversal_matrix_matches_reality() {
+    for (i, &a) in KINDS.iter().enumerate() {
+        for (j, &b) in KINDS.iter().enumerate() {
+            if j < i {
+                continue; // symmetric matrix
+            }
+            let expected = a.traversal_possible(b);
+            let (connected, played_a, played_b) = run_pair(a, b, 1000 + (i * 4 + j) as u64);
+            assert_eq!(
+                connected, expected,
+                "{a:?} <-> {b:?}: expected traversal_possible={expected}"
+            );
+            // Regardless of traversal, playback completes (CDN fallback).
+            assert_eq!(played_a, 12, "{a:?} viewer finished");
+            assert_eq!(played_b, 12, "{b:?} viewer finished");
+        }
+    }
+}
