@@ -89,7 +89,11 @@ fn ablation_token_ttl(c: &mut Criterion) {
             let jwt = token.sign(b"k");
             let video = VideoId::new("https://xx.yy/zz.m3u8");
             let mut validator = TokenValidator::new(b"k".to_vec());
-            b.iter(|| validator.validate(&jwt, &video, SimTime::from_secs(1)).unwrap())
+            b.iter(|| {
+                validator
+                    .validate(&jwt, &video, SimTime::from_secs(1))
+                    .unwrap()
+            })
         });
     }
     g.finish();

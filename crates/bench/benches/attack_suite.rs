@@ -13,9 +13,7 @@ use std::hint::black_box;
 fn bench_freeriding(c: &mut Criterion) {
     let profile = ProviderProfile::peer5();
     c.bench_function("freeriding/cross_domain_attack", |b| {
-        b.iter(|| {
-            pdn_core::freeriding::cross_domain_attack(black_box(&profile), false, 1)
-        })
+        b.iter(|| pdn_core::freeriding::cross_domain_attack(black_box(&profile), false, 1))
     });
     c.bench_function("freeriding/domain_spoofing_attack", |b| {
         b.iter(|| pdn_core::freeriding::domain_spoofing_attack(black_box(&profile), 1))

@@ -125,9 +125,98 @@ fn bench_media(c: &mut Criterion) {
     });
 }
 
+fn bench_scan(c: &mut Criterion) {
+    use pdn_detector::corpus::{generate, CorpusConfig};
+    use pdn_detector::scanner::default_workers;
+    use pdn_detector::Scanner;
+    use pdn_simnet::SimRng;
+
+    let mut rng = SimRng::seed(11);
+    let eco = generate(
+        CorpusConfig {
+            website_haystack: 10_000,
+            app_haystack: 1_000,
+            video_fraction: 0.4,
+        },
+        &mut rng,
+    );
+    let scanner = Scanner::new();
+    // The two paths must agree before their speeds mean anything.
+    assert_eq!(scanner.scan_naive(&eco), scanner.scan(&eco));
+
+    let mut g = c.benchmark_group("scan_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(eco.websites.len() as u64));
+    g.bench_function("naive_serial", |b| {
+        b.iter(|| scanner.scan_naive(black_box(&eco)))
+    });
+    g.bench_function("matcher_serial", |b| {
+        b.iter(|| scanner.scan_with_workers(black_box(&eco), 1))
+    });
+    g.bench_function(
+        BenchmarkId::new("matcher_sharded", default_workers()),
+        |b| b.iter(|| scanner.scan(black_box(&eco))),
+    );
+    g.finish();
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    use pdn_detector::matcher::SignatureMatcher;
+    use pdn_detector::signatures::{builtin_signatures, match_page};
+
+    // A realistic page: ~8 KB of filler with one signature near the end.
+    let mut page = String::new();
+    while page.len() < 8_000 {
+        page.push_str("<script>var player = initPlayer({autoplay: true});</script>\n");
+    }
+    page.push_str(r#"<script src="https://api.peer5.com/peer5.js?id=abc123"></script>"#);
+    let sigs = builtin_signatures();
+    let matcher = SignatureMatcher::new(&sigs);
+    assert_eq!(matcher.match_page(&page), match_page(&sigs, &page));
+
+    let mut g = c.benchmark_group("matcher_vs_naive");
+    g.throughput(Throughput::Bytes(page.len() as u64));
+    g.bench_function("naive_contains", |b| {
+        b.iter(|| match_page(black_box(&sigs), black_box(&page)))
+    });
+    g.bench_function("aho_corasick", |b| {
+        b.iter(|| matcher.match_page(black_box(&page)))
+    });
+    g.finish();
+}
+
+fn bench_send_path(c: &mut Criterion) {
+    use bytes::Bytes;
+    use pdn_simnet::{Addr, GeoInfo, LinkSpec, Network, Transport};
+
+    let mut net = Network::new(9);
+    net.set_capture(true);
+    let a = net.add_public_host(GeoInfo::new("US", 1, "AS1"), LinkSpec::residential());
+    let b_node = net.add_public_host(GeoInfo::new("US", 1, "AS1"), LinkSpec::residential());
+    let dst = Addr::from_ip(net.ip(b_node), 80);
+    let payload = Bytes::from(vec![0x5a; 1_200]);
+
+    let mut g = c.benchmark_group("send_path");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("udp_1200b_captured", |b| {
+        b.iter(|| {
+            // The payload clone is a refcount bump (see the simnet
+            // `non_rewrite_send_path_never_copies_the_payload` test).
+            let out = net.send(a, 5000, dst, Transport::Udp, payload.clone());
+            let _ = net.step();
+            if net.capture().len() > 4_096 {
+                net.clear_capture();
+            }
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_crypto, bench_stun, bench_dtls, bench_media
+    targets = bench_crypto, bench_stun, bench_dtls, bench_media, bench_scan,
+        bench_matcher, bench_send_path
 }
 criterion_main!(benches);

@@ -79,7 +79,10 @@ fn main() {
         usage()
     };
 
-    println!("analyzer: provider={} test={test_name} seed={seed}", profile.name);
+    println!(
+        "analyzer: provider={} test={test_name} seed={seed}",
+        profile.name
+    );
     match test_name.as_str() {
         "cross-domain" => {
             let (outcome, bytes) = pdn_core::freeriding::cross_domain_attack(
@@ -90,8 +93,7 @@ fn main() {
             println!("outcome: {outcome:?} (attacker exchanged {bytes} P2P bytes)");
         }
         "domain-spoofing" => {
-            let (outcome, bytes) =
-                pdn_core::freeriding::domain_spoofing_attack(&profile, seed);
+            let (outcome, bytes) = pdn_core::freeriding::domain_spoofing_attack(&profile, seed);
             println!("outcome: {outcome:?} (attacker exchanged {bytes} P2P bytes)");
         }
         "direct-pollution" => {

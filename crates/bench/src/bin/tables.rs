@@ -16,7 +16,10 @@ fn main() {
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
     let seed = SEED;
 
-    if ["table1", "table2", "table3", "table4"].iter().any(|t| want(t)) {
+    if ["table1", "table2", "table3", "table4"]
+        .iter()
+        .any(|t| want(t))
+    {
         let (_, report) = detection_report(seed);
         if want("table1") {
             println!("{}", report.render_table1());
@@ -24,7 +27,10 @@ fn main() {
         if want("table2") {
             println!(
                 "{}",
-                DetectionReport::render_confirmed(&report.table2, "TABLE II: Confirmed PDN websites")
+                DetectionReport::render_confirmed(
+                    &report.table2,
+                    "TABLE II: Confirmed PDN websites"
+                )
             );
         }
         if want("table3") {
@@ -40,7 +46,10 @@ fn main() {
 
     if want("freeriding") {
         let s = freeriding_study(seed);
-        println!("§IV-B field study: {} keys extracted, {} valid, {} expired", s.tested, s.valid, s.expired);
+        println!(
+            "§IV-B field study: {} keys extracted, {} valid, {} expired",
+            s.tested, s.valid, s.expired
+        );
         println!(
             "  cross-domain vulnerable: {} / {}    domain-spoofing vulnerable: {} / {}\n",
             s.cross_domain_vulnerable, s.valid, s.spoof_vulnerable, s.valid
@@ -58,7 +67,10 @@ fn main() {
     if want("fig4") {
         let fig = figure4(120, seed);
         println!("FIGURE 4: Resource consumption of serving as a PDN peer");
-        println!("{:<9} {:>8} {:>10} {:>10} {:>10}", "viewer", "cpu", "mem MB", "rx MB", "tx MB");
+        println!(
+            "{:<9} {:>8} {:>10} {:>10} {:>10}",
+            "viewer", "cpu", "mem MB", "rx MB", "tx MB"
+        );
         for m in [&fig.no_peer, &fig.peer_a, &fig.peer_b] {
             println!(
                 "{:<9} {:>7.1}% {:>10.1} {:>10.1} {:>10.1}",
@@ -78,7 +90,10 @@ fn main() {
 
     if want("fig5") {
         println!("FIGURE 5: Bandwidth consumption of serving multiple peers");
-        println!("{:>9} {:>12} {:>12} {:>9}", "neighbors", "upload MB", "download MB", "up/down");
+        println!(
+            "{:>9} {:>12} {:>12} {:>9}",
+            "neighbors", "upload MB", "download MB", "up/down"
+        );
         for p in figure5(5, 90, seed) {
             println!(
                 "{:>9} {:>12.1} {:>12.1} {:>8.2}x",

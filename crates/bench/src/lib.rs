@@ -95,7 +95,13 @@ pub fn ip_leak_wild(
 ) -> (pdn_core::IpLeakWildResult, pdn_core::IpLeakWildResult) {
     (
         run_wild(&huya_population(), MatchingPolicy::Global, "US", days, seed),
-        run_wild(&rt_news_population(), MatchingPolicy::Global, "US", days, seed + 1),
+        run_wild(
+            &rt_news_population(),
+            MatchingPolicy::Global,
+            "US",
+            days,
+            seed + 1,
+        ),
     )
 }
 
@@ -105,7 +111,13 @@ pub fn privacy_mitigation(
     seed: u64,
 ) -> (pdn_core::IpLeakWildResult, pdn_core::IpLeakWildResult) {
     (
-        run_wild(&huya_population(), MatchingPolicy::SameCountry, "US", days, seed),
+        run_wild(
+            &huya_population(),
+            MatchingPolicy::SameCountry,
+            "US",
+            days,
+            seed,
+        ),
         run_wild(
             &rt_news_population(),
             MatchingPolicy::SameCountry,

@@ -104,9 +104,7 @@ pub fn evaluate_turn_relay(payloads: usize, payload_len: usize, seed: u64) -> Tu
         data_flowed &= delivered;
     }
 
-    let exposed = addresses_seen_by_alice
-        .iter()
-        .any(|a| a.ip == bob.ip)
+    let exposed = addresses_seen_by_alice.iter().any(|a| a.ip == bob.ip)
         || addresses_seen_by_bob.iter().any(|a| a.ip == alice.ip);
 
     TurnEvaluation {

@@ -183,7 +183,10 @@ mod tests {
     fn full_evaluation_holds() {
         let eval = evaluate(1000);
         assert!(eval.legit_flow_works, "legit viewers must still stream");
-        assert!(eval.cross_video_rejected, "stolen token useless cross-video");
+        assert!(
+            eval.cross_video_rejected,
+            "stolen token useless cross-video"
+        );
         assert!(eval.replay_rejected, "usage limit enforced");
         assert!(eval.expired_rejected, "TTL enforced");
         assert!(eval.defense_holds());

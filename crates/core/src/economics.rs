@@ -61,11 +61,7 @@ fn run_swarm(profile: &ProviderProfile, viewers: usize, pdn: bool, seed: u64) ->
 }
 
 /// Measures the offload curve for swarm sizes in `sizes`.
-pub fn offload_curve(
-    profile: &ProviderProfile,
-    sizes: &[usize],
-    seed: u64,
-) -> Vec<OffloadPoint> {
+pub fn offload_curve(profile: &ProviderProfile, sizes: &[usize], seed: u64) -> Vec<OffloadPoint> {
     sizes
         .iter()
         .map(|&n| OffloadPoint {

@@ -20,9 +20,7 @@ use pdn_detector::tables::ExtractedKey;
 use pdn_media::VideoSource;
 use pdn_provider::sdk::ports;
 use pdn_provider::world::{PdnWorld, ViewerSpec};
-use pdn_provider::{
-    AgentConfig, CustomerAccount, ProviderProfile, SignalMsg,
-};
+use pdn_provider::{AgentConfig, CustomerAccount, ProviderProfile, SignalMsg};
 use pdn_simnet::{SimTime, TapDirection, TapVerdict};
 
 /// Outcome of one peer-authentication test.
@@ -99,10 +97,7 @@ pub fn cross_domain_attack(
 
 /// Runs the domain-spoofing attack: the analyzer's proxy rewrites the
 /// `Origin` of every Join to the victim's domain.
-pub fn domain_spoofing_attack(
-    profile: &ProviderProfile,
-    seed: u64,
-) -> (AuthTestOutcome, u64) {
+pub fn domain_spoofing_attack(profile: &ProviderProfile, seed: u64) -> (AuthTestOutcome, u64) {
     let mut world = attack_world(profile, true, seed);
     let spawn_spoofed = |world: &mut PdnWorld| {
         let node = world.spawn_viewer(ViewerSpec::residential(attacker_config()));
@@ -232,10 +227,7 @@ pub struct KeyFieldStudy {
 
 /// Evaluates extracted keys against a provider server seeded with the
 /// corpus ground-truth accounts.
-pub fn key_field_study(
-    eco: &pdn_detector::Ecosystem,
-    keys: &[ExtractedKey],
-) -> KeyFieldStudy {
+pub fn key_field_study(eco: &pdn_detector::Ecosystem, keys: &[ExtractedKey]) -> KeyFieldStudy {
     use pdn_detector::corpus::Plant;
 
     let mut study = KeyFieldStudy::default();

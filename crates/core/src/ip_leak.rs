@@ -56,8 +56,16 @@ pub fn ip_leak_basic(profile: &ProviderProfile, seed: u64) -> bool {
     world.run_until(SimTime::from_secs(60));
     let cn_ip = world.net().public_ip(cn);
     let us_ip = world.net().public_ip(us);
-    let us_sees_cn = world.agent(us).harvested_addrs().iter().any(|a| a.ip == cn_ip);
-    let cn_sees_us = world.agent(cn).harvested_addrs().iter().any(|a| a.ip == us_ip);
+    let us_sees_cn = world
+        .agent(us)
+        .harvested_addrs()
+        .iter()
+        .any(|a| a.ip == cn_ip);
+    let cn_sees_us = world
+        .agent(cn)
+        .harvested_addrs()
+        .iter()
+        .any(|a| a.ip == us_ip);
     us_sees_cn && cn_sees_us
 }
 
@@ -311,7 +319,10 @@ fn synth_sdp(wire: Addr, host_ip: Option<Ipv4Addr>, rng: &mut SimRng) -> Session
     let cert = pdn_webrtc::Certificate::generate(&mut rng2);
     let mut candidates = vec![Candidate::new(CandidateKind::ServerReflexive, wire)];
     if let Some(host) = host_ip {
-        candidates.insert(0, Candidate::new(CandidateKind::Host, Addr::from_ip(host, 4000)));
+        candidates.insert(
+            0,
+            Candidate::new(CandidateKind::Host, Addr::from_ip(host, 4000)),
+        );
     }
     SessionDescription {
         ice_ufrag: format!("u{:x}", rng.next_u64()),
@@ -391,8 +402,16 @@ mod tests {
     #[test]
     fn rt_news_week_harvest_shape() {
         let r = run_wild(&rt_news_population(), MatchingPolicy::Global, "US", 7.0, 2);
-        assert!(r.unique_ips > 300 && r.unique_ips < 2_000, "{}", r.unique_ips);
-        assert!(r.countries.len() > 30, "many countries: {}", r.countries.len());
+        assert!(
+            r.unique_ips > 300 && r.unique_ips < 2_000,
+            "{}",
+            r.unique_ips
+        );
+        assert!(
+            r.countries.len() > 30,
+            "many countries: {}",
+            r.countries.len()
+        );
         assert!(r.cities > 100, "many cities: {}", r.cities);
         // US is the top country at roughly a third.
         let us = *r.countries.get("US").unwrap_or(&0) as f64 / r.public_ips as f64;
@@ -416,15 +435,18 @@ mod tests {
             baseline.unique_ips
         );
         // Only same-country peers remain visible.
-        assert!(mitigated
-            .countries
-            .keys()
-            .all(|c| c == "US"));
+        assert!(mitigated.countries.keys().all(|c| c == "US"));
     }
 
     #[test]
     fn huya_with_same_country_matching_hides_everyone_from_us_observer() {
-        let r = run_wild(&huya_population(), MatchingPolicy::SameCountry, "US", 1.0, 4);
+        let r = run_wild(
+            &huya_population(),
+            MatchingPolicy::SameCountry,
+            "US",
+            1.0,
+            4,
+        );
         assert_eq!(
             r.public_ips, 0,
             "a US observer sees no CN viewers under same-country matching"

@@ -151,7 +151,11 @@ pub fn run_pollution(
     world
         .server_mut()
         .accounts_mut()
-        .register(CustomerAccount::new("customer", "key", ["site.tv".to_string()]));
+        .register(CustomerAccount::new(
+            "customer",
+            "key",
+            ["site.tv".to_string()],
+        ));
     if profile.segment_integrity_check {
         world.server_mut().set_im_reporters(2);
     }
@@ -272,9 +276,12 @@ pub fn propagation_study(
         let affected = victim_nodes
             .iter()
             .filter(|v| {
-                world.agent(**v).player().played().iter().any(|rec| {
-                    rec.content_hash != authentic[rec.id.seq as usize]
-                })
+                world
+                    .agent(**v)
+                    .player()
+                    .played()
+                    .iter()
+                    .any(|rec| rec.content_hash != authentic[rec.id.seq as usize])
             })
             .count();
         curve.push(PropagationPoint {
@@ -353,7 +360,10 @@ mod tests {
             r.victim_rejections > 0 || r.attacker_blacklisted,
             "either SIM verification rejected segments or the liar was expelled"
         );
-        assert!(r.victim_total_played > 0, "victims still play (CDN fallback)");
+        assert!(
+            r.victim_total_played > 0,
+            "victims still play (CDN fallback)"
+        );
     }
 
     #[test]

@@ -72,7 +72,8 @@ impl RiskMatrix {
                 .map(|c| format!("{:<14}", c.provider))
                 .collect::<String>()
         ));
-        let rows: [(&str, fn(&ProviderColumn) -> Cell); 6] = [
+        type RowSpec = (&'static str, fn(&ProviderColumn) -> Cell);
+        let rows: [RowSpec; 6] = [
             ("cross-domain attack", |c| c.cross_domain),
             ("domain-spoofing attack", |c| c.domain_spoofing),
             ("direct pollution", |c| c.direct_pollution),

@@ -26,7 +26,11 @@ fn live_world(profile: &ProviderProfile, seed: u64) -> PdnWorld {
     world
         .server_mut()
         .accounts_mut()
-        .register(CustomerAccount::new("customer", "key", ["site.tv".to_string()]));
+        .register(CustomerAccount::new(
+            "customer",
+            "key",
+            ["site.tv".to_string()],
+        ));
     world.publish_video(VideoSource::live(
         CHANNEL,
         vec![2_000_000],
@@ -74,8 +78,7 @@ impl ResourceFigure {
 
     /// Mean memory of PDN peers relative to the control.
     pub fn mem_overhead(&self) -> f64 {
-        let pdn =
-            (self.peer_a.summary.mean_mem_bytes + self.peer_b.summary.mean_mem_bytes) / 2.0;
+        let pdn = (self.peer_a.summary.mean_mem_bytes + self.peer_b.summary.mean_mem_bytes) / 2.0;
         pdn / self.no_peer.summary.mean_mem_bytes - 1.0
     }
 }
@@ -196,7 +199,7 @@ pub fn cellular_upload_audit(eco: &pdn_detector::Ecosystem) -> Vec<(String, Opti
         .filter(|a| a.plant.is_some() && a.cellular_upload)
         .map(|a| (a.package.clone(), a.downloads))
         .collect();
-    apps.sort_by(|a, b| b.1.cmp(&a.1));
+    apps.sort_by_key(|(_, downloads)| std::cmp::Reverse(*downloads));
     apps
 }
 

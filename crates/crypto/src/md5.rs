@@ -116,10 +116,10 @@ mod tests {
     fn padding_boundaries() {
         // Lengths straddling the 56-byte padding boundary must not panic and
         // must be distinct.
-        let a = digest(&vec![0u8; 55]);
-        let b = digest(&vec![0u8; 56]);
-        let c = digest(&vec![0u8; 57]);
-        let d = digest(&vec![0u8; 64]);
+        let a = digest(&[0u8; 55]);
+        let b = digest(&[0u8; 56]);
+        let c = digest(&[0u8; 57]);
+        let d = digest(&[0u8; 64]);
         assert_ne!(a, b);
         assert_ne!(b, c);
         assert_ne!(c, d);

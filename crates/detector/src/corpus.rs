@@ -101,13 +101,27 @@ pub struct Website {
 impl Website {
     /// Renders the page content at `depth` (lazy generation: only crawled
     /// pages materialize). The signature snippet appears at the plant's
-    /// depth; other pages are innocuous video-site boilerplate.
+    /// depth, near the end of the document as on real sites; the rest is
+    /// innocuous video-site boilerplate at a realistic page weight
+    /// (Tranco-ranked video pages average tens of kilobytes of markup).
     pub fn page_content(&self, depth: u32) -> String {
-        let mut html = String::from("<html><head><title>");
+        // Deterministic size in [12 KiB, 24 KiB), varying per site/depth.
+        let lines = 128
+            + (self.rank as usize)
+                .wrapping_mul(31)
+                .wrapping_add(depth as usize)
+                % 128;
+        let mut html = String::with_capacity(lines * 100 + 512);
+        html.push_str("<html><head><title>");
         html.push_str(&self.domain);
         html.push_str("</title></head><body>");
         if self.video_category && depth == 0 {
             html.push_str("<video src=\"stream.m3u8\" controls></video>");
+        }
+        for i in 0..lines {
+            html.push_str("<div class=\"row\"><a href=\"/watch?v=");
+            push_decimal(&mut html, (i * 7919 + depth as usize) % 1_000_000);
+            html.push_str("\">Episode listing — full catalog, subtitles, schedule</a></div>\n");
         }
         if let Some(plant) = &self.plant {
             if depth == self.visibility.depth && !self.visibility.dynamic {
@@ -117,6 +131,23 @@ impl Website {
         html.push_str("</body></html>");
         html
     }
+}
+
+/// Appends `n` in decimal without going through `format!` (page rendering
+/// is on the scan benches' critical path).
+fn push_decimal(out: &mut String, n: usize) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut n = n;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
 }
 
 fn plant_snippet(plant: &Plant) -> String {
@@ -242,21 +273,76 @@ pub const CONFIRMED_WEBSITES: &[(&str, ProviderTag, Option<u64>)] = &[
 
 /// Table III verbatim: (package, provider, downloads, cellular upload).
 pub const CONFIRMED_APPS: &[(&str, ProviderTag, Option<u64>, bool)] = &[
-    ("iflix.play", ProviderTag::Streamroot, Some(50_000_000), false),
-    ("fr.francetv.pluzz", ProviderTag::Streamroot, Some(10_000_000), false),
-    ("com.nousguide.android.rbtv", ProviderTag::Peer5, Some(10_000_000), false),
-    ("com.portonics.mygp", ProviderTag::Peer5, Some(10_000_000), true),
+    (
+        "iflix.play",
+        ProviderTag::Streamroot,
+        Some(50_000_000),
+        false,
+    ),
+    (
+        "fr.francetv.pluzz",
+        ProviderTag::Streamroot,
+        Some(10_000_000),
+        false,
+    ),
+    (
+        "com.nousguide.android.rbtv",
+        ProviderTag::Peer5,
+        Some(10_000_000),
+        false,
+    ),
+    (
+        "com.portonics.mygp",
+        ProviderTag::Peer5,
+        Some(10_000_000),
+        true,
+    ),
     ("mivo.tv", ProviderTag::Peer5, Some(10_000_000), false),
-    ("com.bongo.bioscope", ProviderTag::Peer5, Some(5_000_000), true),
+    (
+        "com.bongo.bioscope",
+        ProviderTag::Peer5,
+        Some(5_000_000),
+        true,
+    ),
     ("tv.fubo.mobile", ProviderTag::Peer5, Some(5_000_000), false),
-    ("com.rt.mobile.english", ProviderTag::Streamroot, Some(1_000_000), false),
-    ("vn.com.vega.clipvn", ProviderTag::Peer5, Some(1_000_000), false),
-    ("com.flipps.fitetv", ProviderTag::Peer5, Some(1_000_000), false),
+    (
+        "com.rt.mobile.english",
+        ProviderTag::Streamroot,
+        Some(1_000_000),
+        false,
+    ),
+    (
+        "vn.com.vega.clipvn",
+        ProviderTag::Peer5,
+        Some(1_000_000),
+        false,
+    ),
+    (
+        "com.flipps.fitetv",
+        ProviderTag::Peer5,
+        Some(1_000_000),
+        false,
+    ),
     // The paper's Table III lists vn.com.vega.clipvn twice; reproduced as a
     // distinct row so counts match (18 rows).
-    ("vn.com.vega.clipvn.row2", ProviderTag::Peer5, Some(1_000_000), false),
-    ("com.arenacloudtv.android", ProviderTag::Peer5, Some(500_000), true),
-    ("com.televisions.burma", ProviderTag::Peer5, Some(50_000), false),
+    (
+        "vn.com.vega.clipvn.row2",
+        ProviderTag::Peer5,
+        Some(1_000_000),
+        false,
+    ),
+    (
+        "com.arenacloudtv.android",
+        ProviderTag::Peer5,
+        Some(500_000),
+        true,
+    ),
+    (
+        "com.televisions.burma",
+        ProviderTag::Peer5,
+        Some(50_000),
+        false,
+    ),
     ("com.totalaccesstv.live", ProviderTag::Peer5, None, false),
     ("dev.hw.app.tgnd", ProviderTag::Peer5, None, false),
     ("tv.almighty.apk", ProviderTag::Peer5, None, false),
@@ -266,16 +352,56 @@ pub const CONFIRMED_APPS: &[(&str, ProviderTag, Option<u64>, bool)] = &[
 
 /// Table IV verbatim: (domain, signaling server, monthly visits, trigger).
 pub const PRIVATE_PDN_SITES: &[(&str, &str, u64, Trigger)] = &[
-    ("bilibili.com", "hw-v2-web-player-tracker.biliapi.net", 911_000_000, Trigger::Always),
+    (
+        "bilibili.com",
+        "hw-v2-web-player-tracker.biliapi.net",
+        911_000_000,
+        Trigger::Always,
+    ),
     ("ok.ru", "vm.mycdn.me", 662_000_000, Trigger::Always),
-    ("douyu.com", "wsproxy.douyu.com", 95_000_000, Trigger::GeoRestricted("CN")),
-    ("v.qq.com", "webrtcpunch.video.qq.com", 92_000_000, Trigger::GeoRestricted("CN")),
-    ("iqiyi.com", "broker-qx-ws2.iqiyi.com", 82_000_000, Trigger::GeoRestricted("CN")),
+    (
+        "douyu.com",
+        "wsproxy.douyu.com",
+        95_000_000,
+        Trigger::GeoRestricted("CN"),
+    ),
+    (
+        "v.qq.com",
+        "webrtcpunch.video.qq.com",
+        92_000_000,
+        Trigger::GeoRestricted("CN"),
+    ),
+    (
+        "iqiyi.com",
+        "broker-qx-ws2.iqiyi.com",
+        82_000_000,
+        Trigger::GeoRestricted("CN"),
+    ),
     ("huya.com", "wsapi.huya.com", 61_000_000, Trigger::Always),
-    ("youku.com", "ws.mmstat.com", 60_000_000, Trigger::GeoRestricted("CN")),
-    ("tudou.com", "ws.mmstat.com", 44_000_000, Trigger::GeoRestricted("CN")),
-    ("mgtv.com", "signal.api.mgtv.com", 42_000_000, Trigger::Always),
-    ("younow.com", "signaling.younow-prod.video.propsproject.com", 1_000_000, Trigger::Always),
+    (
+        "youku.com",
+        "ws.mmstat.com",
+        60_000_000,
+        Trigger::GeoRestricted("CN"),
+    ),
+    (
+        "tudou.com",
+        "ws.mmstat.com",
+        44_000_000,
+        Trigger::GeoRestricted("CN"),
+    ),
+    (
+        "mgtv.com",
+        "signal.api.mgtv.com",
+        42_000_000,
+        Trigger::Always,
+    ),
+    (
+        "younow.com",
+        "signaling.younow-prod.video.propsproject.com",
+        1_000_000,
+        Trigger::Always,
+    ),
 ];
 
 /// Per-provider plant totals from Table I:
@@ -345,10 +471,9 @@ pub fn generate(cfg: CorpusConfig, rng: &mut SimRng) -> Ecosystem {
         debug_assert_eq!(confirmed_names.len(), *conf_sites);
         for i in 0..*pot_sites {
             let confirmed = i < *conf_sites;
-            let domain = if confirmed {
-                confirmed_names[i].to_string()
-            } else {
-                format!("{}-cust-{i}.tv", provider.to_string().to_lowercase())
+            let domain = match confirmed_names.get(i) {
+                Some(name) => name.to_string(),
+                None => format!("{}-cust-{i}.tv", provider.to_string().to_lowercase()),
             };
             let visits = CONFIRMED_WEBSITES
                 .iter()
@@ -372,9 +497,7 @@ pub fn generate(cfg: CorpusConfig, rng: &mut SimRng) -> Ecosystem {
             } else {
                 true
             };
-            if extractable_left > 0 {
-                extractable_left -= 1;
-            }
+            extractable_left = extractable_left.saturating_sub(1);
             let trigger = if confirmed {
                 Trigger::Always
             } else {
@@ -428,31 +551,34 @@ pub fn generate(cfg: CorpusConfig, rng: &mut SimRng) -> Ecosystem {
     }
     // 2 adult TURN-relayed platforms + 3 tracking + 42 untriggerable in the
     // top-10K (57 total generic hits there), plus 328 below top-10K.
-    let add_webrtc =
-        |websites: &mut Vec<Website>, n: usize, usage: WebRtcUse, top10k: bool, rng: &mut SimRng| {
-            for i in 0..n {
-                websites.push(Website {
-                    domain: format!("webrtc-{usage:?}-{i}.example").to_lowercase(),
-                    rank: if top10k {
-                        rng.range(1..10_000u32)
-                    } else {
-                        rng.range(10_000..300_000u32)
-                    },
-                    video_category: true,
-                    in_source_index: false,
-                    monthly_visits: None,
-                    plant: Some(Plant::WebRtcOther(usage)),
-                    visibility: Visibility {
-                        depth: 0,
-                        dynamic: false,
-                    },
-                    trigger: match usage {
-                        WebRtcUse::Unknown => Trigger::SubscriptionRequired,
-                        _ => Trigger::Always,
-                    },
-                });
-            }
-        };
+    let add_webrtc = |websites: &mut Vec<Website>,
+                      n: usize,
+                      usage: WebRtcUse,
+                      top10k: bool,
+                      rng: &mut SimRng| {
+        for i in 0..n {
+            websites.push(Website {
+                domain: format!("webrtc-{usage:?}-{i}.example").to_lowercase(),
+                rank: if top10k {
+                    rng.range(1..10_000u32)
+                } else {
+                    rng.range(10_000..300_000u32)
+                },
+                video_category: true,
+                in_source_index: false,
+                monthly_visits: None,
+                plant: Some(Plant::WebRtcOther(usage)),
+                visibility: Visibility {
+                    depth: 0,
+                    dynamic: false,
+                },
+                trigger: match usage {
+                    WebRtcUse::Unknown => Trigger::SubscriptionRequired,
+                    _ => Trigger::Always,
+                },
+            });
+        }
+    };
     add_webrtc(&mut websites, 2, WebRtcUse::TurnRelayed, true, rng);
     add_webrtc(&mut websites, 3, WebRtcUse::Tracking, true, rng);
     add_webrtc(&mut websites, 42, WebRtcUse::Unknown, true, rng);
@@ -467,10 +593,7 @@ pub fn generate(cfg: CorpusConfig, rng: &mut SimRng) -> Ecosystem {
             .collect();
         debug_assert_eq!(confirmed_pkgs.len(), *conf_apps);
         let conf_versions = spread(*conf_apks, *conf_apps);
-        let unconf_versions = spread(
-            pot_apks - conf_apks,
-            pot_apps - conf_apps,
-        );
+        let unconf_versions = spread(pot_apks - conf_apks, pot_apps - conf_apps);
         for i in 0..*pot_apps {
             let confirmed = i < *conf_apps;
             let (package, downloads, cellular) = if confirmed {
@@ -636,7 +759,14 @@ mod tests {
             .websites
             .iter()
             .find(|w| {
-                matches!(&w.plant, Some(Plant::Public { provider: ProviderTag::Peer5, key_obfuscated: false, .. }))
+                matches!(
+                    &w.plant,
+                    Some(Plant::Public {
+                        provider: ProviderTag::Peer5,
+                        key_obfuscated: false,
+                        ..
+                    })
+                )
             })
             .unwrap();
         let page = site.page_content(site.visibility.depth);

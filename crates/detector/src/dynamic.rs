@@ -38,7 +38,7 @@ pub fn triggers(site: &Website, vantages: &[Vantage]) -> bool {
 }
 
 /// Outcome of a dynamic session against one site.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DynamicOutcome {
     /// The capture-analysis report.
     pub report: TrafficReport,
@@ -57,6 +57,59 @@ pub enum DynamicVerdict {
     TrackingOnly,
     /// No PDN-shaped traffic observed.
     NoTraffic,
+}
+
+/// Runs watch sessions for a batch of independent candidates, sharded
+/// across `workers` threads (same contiguous-index sharding as
+/// [`crate::scanner::Scanner::scan_with_workers`]).
+///
+/// Each candidate's RNG is derived from `base_seed` and its index, so the
+/// outcomes — including the synthesized addresses — are identical for any
+/// worker count, and results come back in input order.
+pub fn watch_sessions(
+    sites: &[&Website],
+    vantages: &[Vantage],
+    base_seed: u64,
+    workers: usize,
+) -> Vec<DynamicOutcome> {
+    let run_one = |(idx, site): (usize, &&Website)| {
+        let mut rng = SimRng::seed(session_seed(base_seed, idx));
+        watch_session(site, vantages, &mut rng)
+    };
+    if workers <= 1 || sites.len() <= 1 {
+        return sites.iter().enumerate().map(run_one).collect();
+    }
+    let chunks = crate::scanner::chunk_ranges(sites.len(), workers);
+    let mut out = Vec::with_capacity(sites.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|r| {
+                let start = r.start;
+                let shard = &sites[r.clone()];
+                s.spawn(move || {
+                    shard
+                        .iter()
+                        .enumerate()
+                        .map(|(i, site)| run_one((start + i, site)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("watch worker panicked"));
+        }
+    });
+    out
+}
+
+/// Mixes `base_seed` with a candidate index into an independent stream
+/// seed (SplitMix64-style finalizer, so neighbouring indices decorrelate).
+fn session_seed(base_seed: u64, index: usize) -> u64 {
+    let mut z = base_seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Runs one simulated watch session against `site`.
@@ -110,8 +163,18 @@ fn synthesize_session_capture(
     };
 
     // Ordinary playback traffic is always present.
-    push(&mut frames, us, cdn, Bytes::from_static(b"HTP|\x03get-manifest"));
-    push(&mut frames, cdn, us, Bytes::from_static(b"HTP|\x65#EXTM3U..."));
+    push(
+        &mut frames,
+        us,
+        cdn,
+        Bytes::from_static(b"HTP|\x03get-manifest"),
+    );
+    push(
+        &mut frames,
+        cdn,
+        us,
+        Bytes::from_static(b"HTP|\x65#EXTM3U..."),
+    );
 
     if !triggers(site, vantages) {
         return frames;
@@ -122,7 +185,12 @@ fn synthesize_session_capture(
         Some(Plant::WebRtcOther(WebRtcUse::Tracking)) => {
             // STUN binding to learn the client's IP; no peer connection.
             let txid = txid(rng);
-            push(&mut frames, us, stun_server, stun::Message::binding_request(txid).encode());
+            push(
+                &mut frames,
+                us,
+                stun_server,
+                stun::Message::binding_request(txid).encode(),
+            );
             push(
                 &mut frames,
                 stun_server,
@@ -138,7 +206,12 @@ fn synthesize_session_capture(
             let relayed = Addr::from_ip(turn_server.ip, 49_152);
             let peer_via_relay = Addr::new(30, 0, 0, 2, 49_153);
             let txid1 = txid(rng);
-            push(&mut frames, us, turn_server, stun::Message::binding_request(txid1).encode());
+            push(
+                &mut frames,
+                us,
+                turn_server,
+                stun::Message::binding_request(txid1).encode(),
+            );
             push(
                 &mut frames,
                 turn_server,
@@ -160,7 +233,12 @@ fn synthesize_session_capture(
                 40_000 + rng.range(0..1000u16),
             );
             let t1 = txid(rng);
-            push(&mut frames, us, stun_server, stun::Message::binding_request(t1).encode());
+            push(
+                &mut frames,
+                us,
+                stun_server,
+                stun::Message::binding_request(t1).encode(),
+            );
             push(
                 &mut frames,
                 stun_server,
@@ -168,7 +246,12 @@ fn synthesize_session_capture(
                 stun::Message::binding_success(t1, us).encode(),
             );
             let t2 = txid(rng);
-            push(&mut frames, us, peer, stun::Message::binding_request(t2).encode());
+            push(
+                &mut frames,
+                us,
+                peer,
+                stun::Message::binding_request(t2).encode(),
+            );
             push(
                 &mut frames,
                 peer,
@@ -286,6 +369,37 @@ mod tests {
         );
         let out = watch_session(&s, &paper_vantages(), &mut rng);
         assert_eq!(out.verdict, DynamicVerdict::TurnRelayed);
+    }
+
+    #[test]
+    fn batched_sessions_identical_for_any_worker_count() {
+        // A mixed batch: public plants, tracking, TURN, plain.
+        let sites: Vec<Website> = vec![
+            site(Some(public_plant()), Trigger::Always),
+            site(
+                Some(Plant::WebRtcOther(WebRtcUse::Tracking)),
+                Trigger::Always,
+            ),
+            site(
+                Some(Plant::WebRtcOther(WebRtcUse::TurnRelayed)),
+                Trigger::Always,
+            ),
+            site(None, Trigger::Always),
+            site(Some(public_plant()), Trigger::GeoRestricted("CN")),
+            site(Some(public_plant()), Trigger::SubscriptionRequired),
+            site(Some(public_plant()), Trigger::Always),
+        ];
+        let refs: Vec<&Website> = sites.iter().collect();
+        let vantages = paper_vantages();
+        let serial = watch_sessions(&refs, &vantages, 42, 1);
+        for workers in [2usize, 8] {
+            let parallel = watch_sessions(&refs, &vantages, 42, workers);
+            assert_eq!(serial, parallel, "{workers} workers");
+        }
+        assert_eq!(serial[0].verdict, DynamicVerdict::PdnConfirmed);
+        assert_eq!(serial[1].verdict, DynamicVerdict::TrackingOnly);
+        assert_eq!(serial[2].verdict, DynamicVerdict::TurnRelayed);
+        assert_eq!(serial[3].verdict, DynamicVerdict::NoTraffic);
     }
 
     #[test]

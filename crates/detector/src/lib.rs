@@ -7,8 +7,10 @@
 //!   namespaces, Android manifest keys) and API key extraction;
 //! - [`corpus`] — a synthetic web/app ecosystem with planted PDN customers
 //!   standing in for Tranco-300K + Androzoo (see DESIGN.md substitutions);
+//! - [`matcher`] — the case-folded Aho–Corasick automaton the scanner's
+//!   hot path compiles the signature database into;
 //! - [`scanner`] — the static crawler (depth-3 subpage walk) and APK
-//!   scanner producing *potential* customers;
+//!   scanner producing *potential* customers, sharded across threads;
 //! - [`traffic`] — the capture analyzer recognising PDN traffic as STUN
 //!   binding requests followed by DTLS between candidate peers;
 //! - [`dynamic`] — per-site watch sessions and vantage handling;
@@ -32,6 +34,7 @@
 
 pub mod corpus;
 pub mod dynamic;
+pub mod matcher;
 pub mod scanner;
 pub mod signatures;
 pub mod tables;

@@ -5,8 +5,15 @@
 //! the 10-minute timeout), matching the signature database against the
 //! rendered content; APKs are unpacked into manifest keys and namespaces
 //! and matched the same way.
+//!
+//! The hot path is built for corpus scale: signatures are compiled once
+//! into a [`SignatureMatcher`] (Aho–Corasick, see [`crate::matcher`]), and
+//! [`Scanner::scan`] shards the corpus across `std::thread::scope` workers.
+//! Sharding is by contiguous index ranges and results are concatenated in
+//! shard order, so the outcome is byte-identical for any worker count.
 
 use crate::corpus::{AndroidApp, Ecosystem, Website};
+use crate::matcher::{Scratch, SignatureMatcher};
 use crate::signatures::{
     builtin_signatures, extract_api_key, match_apk, match_page, ProviderTag, Signature,
 };
@@ -14,8 +21,32 @@ use crate::signatures::{
 /// Maximum crawl depth (the paper's "within a depth of 3").
 pub const MAX_DEPTH: u32 = 3;
 
+/// Worker count used when the caller doesn't pick one: the available
+/// parallelism, capped to keep shard bookkeeping sensible on huge hosts.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Splits `len` items into at most `workers` contiguous index ranges.
+pub(crate) fn chunk_ranges(len: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = workers.max(1).min(len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for i in 0..workers {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
 /// A website flagged as a potential PDN customer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SiteDetection {
     /// The domain.
     pub domain: String,
@@ -32,7 +63,7 @@ pub struct SiteDetection {
 }
 
 /// An app flagged as a potential PDN customer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AppDetection {
     /// Package name.
     pub package: String,
@@ -55,8 +86,17 @@ pub struct ScanStats {
     pub apks_scanned: usize,
 }
 
+impl ScanStats {
+    /// Accumulates another shard's counters into this one.
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.domains_scanned += other.domains_scanned;
+        self.pages_fetched += other.pages_fetched;
+        self.apks_scanned += other.apks_scanned;
+    }
+}
+
 /// Output of a full static scan.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct ScanOutcome {
     /// Flagged websites.
     pub sites: Vec<SiteDetection>,
@@ -67,9 +107,15 @@ pub struct ScanOutcome {
 }
 
 /// The static scanner.
+///
+/// Holds the signature database *and* its compiled form: the Aho–Corasick
+/// [`SignatureMatcher`] is built once in [`Scanner::new`] and reused for
+/// every page and APK, so the per-page cost is a single pass over the
+/// content with no allocation.
 #[derive(Debug)]
 pub struct Scanner {
     signatures: Vec<Signature>,
+    matcher: SignatureMatcher,
 }
 
 impl Default for Scanner {
@@ -81,14 +127,35 @@ impl Default for Scanner {
 impl Scanner {
     /// Creates a scanner with the built-in signature database.
     pub fn new() -> Self {
+        let signatures = builtin_signatures();
+        let matcher = SignatureMatcher::new(&signatures);
         Scanner {
-            signatures: builtin_signatures(),
+            signatures,
+            matcher,
         }
+    }
+
+    /// The signature database this scanner was compiled from.
+    pub fn signatures(&self) -> &[Signature] {
+        &self.signatures
     }
 
     /// Crawls one website; returns a detection if any signature matches
     /// within the depth limit.
+    ///
+    /// Convenience wrapper over [`Scanner::scan_site_in`] that allocates a
+    /// fresh [`Scratch`]; the shard loop reuses one scratch per worker.
     pub fn scan_site(&self, site: &Website, stats: &mut ScanStats) -> Option<SiteDetection> {
+        self.scan_site_in(&mut Scratch::default(), site, stats)
+    }
+
+    /// [`Scanner::scan_site`] with caller-provided matcher scratch.
+    pub fn scan_site_in(
+        &self,
+        scratch: &mut Scratch,
+        site: &Website,
+        stats: &mut ScanStats,
+    ) -> Option<SiteDetection> {
         // The paper's filter: category engines say video, or the domain
         // came from the source-code search engines.
         if !site.video_category && !site.in_source_index {
@@ -102,15 +169,19 @@ impl Scanner {
         let mut best: Option<(u32, Vec<ProviderTag>, Option<String>)> = None;
         let depths: &[u32] = if descend { &[0, 1, 2, 3] } else { &[0] };
         for &d in depths {
-            let content = if d == 0 {
-                homepage.clone()
+            // Borrow the already-fetched homepage at depth 0 instead of
+            // cloning it; deeper pages are fetched into `fetched`.
+            let fetched;
+            let content: &str = if d == 0 {
+                &homepage
             } else {
                 stats.pages_fetched += 1;
-                site.page_content(d)
+                fetched = site.page_content(d);
+                &fetched
             };
-            let hits = match_page(&self.signatures, &content);
+            let hits = self.matcher.match_page_in(scratch, content);
             if !hits.is_empty() {
-                let key = extract_api_key(&content);
+                let key = extract_api_key(content);
                 best = Some((d, hits, key));
                 break;
             }
@@ -129,7 +200,7 @@ impl Scanner {
     /// Unpacks one APK and matches signatures.
     pub fn scan_app(&self, app: &AndroidApp, stats: &mut ScanStats) -> Option<AppDetection> {
         stats.apks_scanned += 1;
-        let providers = match_apk(&self.signatures, &app.manifest_keys, &app.namespaces);
+        let providers = self.matcher.match_apk(&app.manifest_keys, &app.namespaces);
         if providers.is_empty() {
             return None;
         }
@@ -141,22 +212,144 @@ impl Scanner {
         })
     }
 
-    /// Scans the whole ecosystem.
+    /// Scans the whole ecosystem, sharded across [`default_workers`]
+    /// threads. Equivalent to `scan_with_workers(eco, default_workers())`.
     pub fn scan(&self, eco: &Ecosystem) -> ScanOutcome {
+        self.scan_with_workers(eco, default_workers())
+    }
+
+    /// Scans the whole ecosystem with an explicit worker count.
+    ///
+    /// Websites and apps are partitioned into contiguous index shards, one
+    /// per worker; each worker produces its shard's detections plus a
+    /// private [`ScanStats`], and the shards are concatenated (and stats
+    /// summed) in shard order at join. Because every site/app is scanned
+    /// independently, the result is identical for any `workers` value.
+    pub fn scan_with_workers(&self, eco: &Ecosystem, workers: usize) -> ScanOutcome {
+        if workers <= 1 {
+            return self.scan_serial(eco);
+        }
+        let site_chunks = chunk_ranges(eco.websites.len(), workers);
+        let app_chunks = chunk_ranges(eco.apps.len(), workers);
+        let shards = site_chunks.len().max(app_chunks.len());
+        let mut results: Vec<(Vec<SiteDetection>, Vec<AppDetection>, ScanStats)> =
+            Vec::with_capacity(shards);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..shards)
+                .map(|i| {
+                    let sites = site_chunks
+                        .get(i)
+                        .map_or(&[][..], |r| &eco.websites[r.clone()]);
+                    let apps = app_chunks.get(i).map_or(&[][..], |r| &eco.apps[r.clone()]);
+                    s.spawn(move || self.scan_shard(sites, apps))
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("scan worker panicked"));
+            }
+        });
+        let mut out = ScanOutcome {
+            sites: Vec::new(),
+            apps: Vec::new(),
+            stats: ScanStats::default(),
+        };
+        for (sites, apps, stats) in results {
+            out.sites.extend(sites);
+            out.apps.extend(apps);
+            out.stats.merge(&stats);
+        }
+        out
+    }
+
+    /// Scans one shard: a slice of the website corpus plus a slice of the
+    /// app corpus, with shard-local stats.
+    fn scan_shard(
+        &self,
+        websites: &[Website],
+        apps: &[AndroidApp],
+    ) -> (Vec<SiteDetection>, Vec<AppDetection>, ScanStats) {
+        let mut stats = ScanStats::default();
+        let mut scratch = Scratch::default();
+        let mut site_dets = Vec::new();
+        for site in websites {
+            if site.video_category || site.in_source_index {
+                stats.domains_scanned += 1;
+            }
+            if let Some(d) = self.scan_site_in(&mut scratch, site, &mut stats) {
+                site_dets.push(d);
+            }
+        }
+        let mut app_dets = Vec::new();
+        for app in apps {
+            if let Some(d) = self.scan_app(app, &mut stats) {
+                app_dets.push(d);
+            }
+        }
+        (site_dets, app_dets, stats)
+    }
+
+    fn scan_serial(&self, eco: &Ecosystem) -> ScanOutcome {
+        let (sites, apps, stats) = self.scan_shard(&eco.websites, &eco.apps);
+        ScanOutcome { sites, apps, stats }
+    }
+
+    /// Serial scan through the naive reference matcher
+    /// ([`match_page`]/[`match_apk`], O(signatures × content) with per-page
+    /// lowercasing) — the baseline the `scan_throughput` bench measures the
+    /// compiled + sharded hot path against. Must produce the same outcome
+    /// as [`Scanner::scan`].
+    pub fn scan_naive(&self, eco: &Ecosystem) -> ScanOutcome {
         let mut stats = ScanStats::default();
         let mut sites = Vec::new();
         for site in &eco.websites {
             if site.video_category || site.in_source_index {
                 stats.domains_scanned += 1;
             }
-            if let Some(d) = self.scan_site(site, &mut stats) {
-                sites.push(d);
+            if !site.video_category && !site.in_source_index {
+                continue;
+            }
+            let homepage = site.page_content(0);
+            stats.pages_fetched += 1;
+            let descend = homepage.contains("<video") || site.in_source_index;
+            let depths: &[u32] = if descend { &[0, 1, 2, 3] } else { &[0] };
+            let mut best = None;
+            for &d in depths {
+                let fetched;
+                let content: &str = if d == 0 {
+                    &homepage
+                } else {
+                    stats.pages_fetched += 1;
+                    fetched = site.page_content(d);
+                    &fetched
+                };
+                let hits = match_page(&self.signatures, content);
+                if !hits.is_empty() {
+                    best = Some((d, hits, extract_api_key(content)));
+                    break;
+                }
+            }
+            if let Some((matched_depth, providers, extracted_key)) = best {
+                sites.push(SiteDetection {
+                    domain: site.domain.clone(),
+                    providers,
+                    extracted_key,
+                    rank: site.rank,
+                    monthly_visits: site.monthly_visits,
+                    matched_depth,
+                });
             }
         }
         let mut apps = Vec::new();
         for app in &eco.apps {
-            if let Some(d) = self.scan_app(app, &mut stats) {
-                apps.push(d);
+            stats.apks_scanned += 1;
+            let providers = match_apk(&self.signatures, &app.manifest_keys, &app.namespaces);
+            if !providers.is_empty() {
+                apps.push(AppDetection {
+                    package: app.package.clone(),
+                    providers,
+                    apk_versions: app.apk_versions,
+                    downloads: app.downloads,
+                });
             }
         }
         ScanOutcome { sites, apps, stats }
@@ -220,8 +413,11 @@ mod tests {
     #[test]
     fn extracts_exactly_the_unobfuscated_keys() {
         let (eco, out) = outcome();
-        let extracted: Vec<&SiteDetection> =
-            out.sites.iter().filter(|s| s.extracted_key.is_some()).collect();
+        let extracted: Vec<&SiteDetection> = out
+            .sites
+            .iter()
+            .filter(|s| s.extracted_key.is_some())
+            .collect();
         assert_eq!(extracted.len(), 44, "§IV-B: 44 keys extracted");
         for d in extracted {
             let truth = eco.websites.iter().find(|w| w.domain == d.domain).unwrap();
@@ -245,6 +441,48 @@ mod tests {
     }
 
     #[test]
+    fn parallel_scan_is_deterministic_across_worker_counts() {
+        let scanner = Scanner::new();
+        for seed in [3u64, 7, 2024] {
+            let mut rng = SimRng::seed(seed);
+            let eco = generate(
+                CorpusConfig {
+                    website_haystack: 300,
+                    app_haystack: 200,
+                    video_fraction: 0.4,
+                },
+                &mut rng,
+            );
+            let serial = scanner.scan_with_workers(&eco, 1);
+            for workers in [2usize, 8] {
+                let parallel = scanner.scan_with_workers(&eco, workers);
+                assert_eq!(serial, parallel, "seed {seed}, {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_scan_agrees_with_hot_path() {
+        let (eco, out) = outcome();
+        let naive = Scanner::new().scan_naive(&eco);
+        assert_eq!(naive, out);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for (len, workers) in [(0usize, 4usize), (1, 4), (7, 3), (8, 8), (10, 16), (100, 7)] {
+            let ranges = chunk_ranges(len, workers);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, len, "len {len}, workers {workers}");
+            assert!(ranges.len() <= workers.max(1));
+        }
+    }
+
+    #[test]
     fn non_video_unindexed_sites_skipped() {
         let scanner = Scanner::new();
         let mut stats = ScanStats::default();
@@ -255,7 +493,10 @@ mod tests {
             in_source_index: false,
             monthly_visits: None,
             plant: None,
-            visibility: crate::corpus::Visibility { depth: 0, dynamic: false },
+            visibility: crate::corpus::Visibility {
+                depth: 0,
+                dynamic: false,
+            },
             trigger: crate::corpus::Trigger::Always,
         };
         assert!(scanner.scan_site(&site, &mut stats).is_none());
@@ -279,7 +520,10 @@ mod tests {
                 key_expired: false,
                 allowlist_enabled: false,
             }),
-            visibility: crate::corpus::Visibility { depth: 1, dynamic: true },
+            visibility: crate::corpus::Visibility {
+                depth: 1,
+                dynamic: true,
+            },
             trigger: crate::corpus::Trigger::Always,
         };
         assert!(

@@ -7,8 +7,12 @@
 //! both the website crawler and the APK scanner here.
 
 /// Which provider a signature attributes to.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+///
+/// The derived `Ord` (declaration order) is the canonical sort order for
+/// hit lists everywhere in the detector.
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum ProviderTag {
     /// Peer5.
     Peer5,
@@ -57,50 +61,427 @@ pub struct Signature {
 }
 
 /// The built-in signature database from §III-C.
+///
+/// One entry per SDK artifact the paper's crawler fingerprints: loader
+/// URLs, bundle names, global objects, key attributes, manifest keys, and
+/// code namespaces — across the historical SDK versions of each provider
+/// (the paper's database spans years of shipped SDKs, which is exactly the
+/// regime where per-needle scanning stops scaling; see [`crate::matcher`]).
 pub fn builtin_signatures() -> Vec<Signature> {
     use ProviderTag::*;
     use SignatureKind::*;
     vec![
-        // Peer5
-        Signature { provider: Peer5, kind: PageContent, needle: "api.peer5.com/peer5.js?id=" },
-        Signature { provider: Peer5, kind: PageContent, needle: "window.peer5" },
-        Signature { provider: Peer5, kind: AndroidNamespace, needle: "com.peer5.sdk" },
-        Signature { provider: Peer5, kind: AndroidManifest, needle: "com.peer5.ApiKey" },
-        // Streamroot
-        Signature { provider: Streamroot, kind: PageContent, needle: "cdn.streamroot.io/dna" },
-        Signature { provider: Streamroot, kind: PageContent, needle: "streamrootkey" },
-        Signature { provider: Streamroot, kind: AndroidManifest, needle: "io.streamroot.dna.StreamrootKey" },
-        Signature { provider: Streamroot, kind: AndroidNamespace, needle: "io.streamroot.dna" },
-        // Viblast
-        Signature { provider: Viblast, kind: PageContent, needle: "viblast.com/pdn/player.js" },
-        Signature { provider: Viblast, kind: PageContent, needle: "viblast(" },
-        Signature { provider: Viblast, kind: AndroidNamespace, needle: "com.viblast.android" },
-        // Generic WebRTC (private PDN candidates)
-        Signature { provider: GenericWebRtc, kind: PageContent, needle: "RTCPeerConnection" },
-        Signature { provider: GenericWebRtc, kind: PageContent, needle: "createDataChannel" },
+        // ---- Peer5 ----
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "api.peer5.com/peer5.js?id=",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "window.peer5",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "cdn.peer5.com/peer5.min.js",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "api.peer5.com/analytics",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.js?auto=",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5-client",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5sdk",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.adapter",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5_config",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.Downloader",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.hlsjs",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.dashjs",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.videojs",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.silverlight",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "data-peer5-id=",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5loader",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.azureedge.net",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "api.peer5.com/stats",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.bootstrap",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.reporter",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.swarm",
+        },
+        Signature {
+            provider: Peer5,
+            kind: PageContent,
+            needle: "peer5.jwplayer",
+        },
+        Signature {
+            provider: Peer5,
+            kind: AndroidNamespace,
+            needle: "com.peer5.sdk",
+        },
+        Signature {
+            provider: Peer5,
+            kind: AndroidNamespace,
+            needle: "com.peer5.embedded",
+        },
+        Signature {
+            provider: Peer5,
+            kind: AndroidManifest,
+            needle: "com.peer5.ApiKey",
+        },
+        Signature {
+            provider: Peer5,
+            kind: AndroidManifest,
+            needle: "com.peer5.sdk.LicenseKey",
+        },
+        // ---- Streamroot ----
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "cdn.streamroot.io/dna",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamrootkey",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "cdn.streamroot.io/dist",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "cdn.streamroot.io/mesh",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "window.Streamroot",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "data-streamroot-key=",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamroot-wrapper",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamroot.hlsjs",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamroot.shaka",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamroot.dashjs",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamrootPropertyId",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamroot.mesh",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamrootPeerAgent",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamroot.io/lumen",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamroot.config",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamrootDnaDebug",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamroot.bootstrap",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamroot.tracker",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamroot.jwplayer",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: PageContent,
+            needle: "streamroot.analytics",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: AndroidManifest,
+            needle: "io.streamroot.dna.StreamrootKey",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: AndroidManifest,
+            needle: "io.streamroot.dna.DnaPropertyId",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: AndroidNamespace,
+            needle: "io.streamroot.dna",
+        },
+        Signature {
+            provider: Streamroot,
+            kind: AndroidNamespace,
+            needle: "io.streamroot.lumen",
+        },
+        // ---- Viblast ----
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast.com/pdn/player.js",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast(",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "cdn.viblast.com",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast-player.js",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast-key=",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast.pdn",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblastLicense",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast.setup",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast_endpoint",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast.hls",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast.talkback",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast.swarm",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast.bootstrap",
+        },
+        Signature {
+            provider: Viblast,
+            kind: PageContent,
+            needle: "viblast.dash",
+        },
+        Signature {
+            provider: Viblast,
+            kind: AndroidNamespace,
+            needle: "com.viblast.android",
+        },
+        Signature {
+            provider: Viblast,
+            kind: AndroidNamespace,
+            needle: "com.viblast.player",
+        },
+        // ---- Generic WebRTC (private PDN candidates, §III-D) ----
+        Signature {
+            provider: GenericWebRtc,
+            kind: PageContent,
+            needle: "RTCPeerConnection",
+        },
+        Signature {
+            provider: GenericWebRtc,
+            kind: PageContent,
+            needle: "createDataChannel",
+        },
+        Signature {
+            provider: GenericWebRtc,
+            kind: PageContent,
+            needle: "webkitRTCPeerConnection",
+        },
+        Signature {
+            provider: GenericWebRtc,
+            kind: PageContent,
+            needle: "mozRTCPeerConnection",
+        },
+        Signature {
+            provider: GenericWebRtc,
+            kind: PageContent,
+            needle: "ondatachannel",
+        },
+        Signature {
+            provider: GenericWebRtc,
+            kind: PageContent,
+            needle: "RTCDataChannel",
+        },
+        Signature {
+            provider: GenericWebRtc,
+            kind: PageContent,
+            needle: "peerConnection.createDataChannel",
+        },
+        Signature {
+            provider: GenericWebRtc,
+            kind: PageContent,
+            needle: "RTCPeerConnection.generateCertificate",
+        },
     ]
 }
 
 /// Result of matching `content` against the database.
+///
+/// This is the naive reference implementation — O(signatures × content)
+/// with per-call lowercasing. The scan hot path uses the precompiled
+/// [`crate::matcher::SignatureMatcher`] instead; this function is kept as
+/// the specification the automaton is property-tested against (and as the
+/// baseline for the `matcher_vs_naive` bench).
 pub fn match_page(signatures: &[Signature], content: &str) -> Vec<ProviderTag> {
-    let lower = content.to_lowercase();
+    // ASCII folding to match the byte-level automaton; the needles are all
+    // ASCII, so Unicode-only case mappings cannot change the outcome on
+    // either side.
+    let lower = content.to_ascii_lowercase();
     let mut hits: Vec<ProviderTag> = signatures
         .iter()
         .filter(|s| s.kind == SignatureKind::PageContent)
-        .filter(|s| lower.contains(&s.needle.to_lowercase()))
+        .filter(|s| lower.contains(&s.needle.to_ascii_lowercase()))
         .map(|s| s.provider.clone())
         .collect();
-    hits.dedup();
     // Known-provider hits subsume generic WebRTC hits.
     if hits.iter().any(|p| *p != ProviderTag::GenericWebRtc) {
         hits.retain(|p| *p != ProviderTag::GenericWebRtc);
     }
-    hits.sort_by_key(|p| format!("{p:?}"));
+    // Sort before dedup: `dedup` only removes *adjacent* duplicates, so a
+    // page matching one provider via two non-adjacent signatures would
+    // otherwise report it twice.
+    hits.sort_unstable();
     hits.dedup();
     hits
 }
 
 /// Matches APK artifacts (manifest keys + namespaces).
+///
+/// Reference implementation; see [`match_page`] and
+/// [`crate::matcher::SignatureMatcher::match_apk`].
 pub fn match_apk(
     signatures: &[Signature],
     manifest_keys: &[String],
@@ -120,7 +501,7 @@ pub fn match_apk(
             SignatureKind::PageContent => None,
         })
         .collect();
-    hits.sort_by_key(|p| format!("{p:?}"));
+    hits.sort_unstable();
     hits.dedup();
     hits
 }
@@ -176,11 +557,7 @@ mod tests {
             &["com.example.app".to_string()],
         );
         assert_eq!(tags, vec![ProviderTag::Streamroot]);
-        let tags = match_apk(
-            &sigs,
-            &[],
-            &["com.viblast.android.player".to_string()],
-        );
+        let tags = match_apk(&sigs, &[], &["com.viblast.android.player".to_string()]);
         assert_eq!(tags, vec![ProviderTag::Viblast]);
         assert!(match_apk(&sigs, &[], &[]).is_empty());
     }

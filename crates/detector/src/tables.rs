@@ -10,8 +10,8 @@ use std::collections::HashMap;
 use pdn_simnet::SimRng;
 
 use crate::corpus::{Ecosystem, Plant, Trigger, Website};
-use crate::dynamic::{paper_vantages, watch_session, DynamicVerdict, Vantage};
-use crate::scanner::{AppDetection, Scanner, SiteDetection};
+use crate::dynamic::{paper_vantages, watch_sessions, DynamicVerdict, Vantage};
+use crate::scanner::{default_workers, AppDetection, Scanner, SiteDetection};
 use crate::signatures::ProviderTag;
 
 /// One row of Table I.
@@ -117,27 +117,35 @@ pub fn run_pipeline_with_vantages(
         .collect();
 
     // ---- dynamic confirmation of public-provider detections ----
-    let mut confirmed_sites: Vec<(&SiteDetection, ProviderTag)> = Vec::new();
+    // Candidates are independent, so the watch sessions run sharded in
+    // parallel; one seed drawn from the pipeline RNG keeps the call
+    // deterministic while preserving the single-RNG entry point.
+    let workers = default_workers();
+    let mut public_dets: Vec<&SiteDetection> = Vec::new();
     let mut generic_candidates: Vec<&SiteDetection> = Vec::new();
     for det in &scan.sites {
         if det.providers == [ProviderTag::GenericWebRtc] {
             generic_candidates.push(det);
-            continue;
-        }
-        let site = by_domain[det.domain.as_str()];
-        let out = watch_session(site, vantages, rng);
-        if out.verdict == DynamicVerdict::PdnConfirmed {
-            confirmed_sites.push((det, det.providers[0].clone()));
+        } else {
+            public_dets.push(det);
         }
     }
+    let public_sites: Vec<&Website> = public_dets
+        .iter()
+        .map(|det| by_domain[det.domain.as_str()])
+        .collect();
+    let public_outcomes = watch_sessions(&public_sites, vantages, rng.next_u64(), workers);
+    let confirmed_sites: Vec<(&SiteDetection, ProviderTag)> = public_dets
+        .iter()
+        .zip(&public_outcomes)
+        .filter(|(_, out)| out.verdict == DynamicVerdict::PdnConfirmed)
+        .map(|(det, _)| (*det, det.providers[0].clone()))
+        .collect();
 
     // ---- dynamic confirmation of apps (driven by trigger conditions;
     // apps are exercised in an emulator, same traffic detection) ----
-    let app_truth: HashMap<&str, &crate::corpus::AndroidApp> = eco
-        .apps
-        .iter()
-        .map(|a| (a.package.as_str(), a))
-        .collect();
+    let app_truth: HashMap<&str, &crate::corpus::AndroidApp> =
+        eco.apps.iter().map(|a| (a.package.as_str(), a)).collect();
     let mut confirmed_apps: Vec<(&AppDetection, ProviderTag)> = Vec::new();
     for det in &scan.apps {
         let app = app_truth[det.package.as_str()];
@@ -214,13 +222,18 @@ pub fn run_pipeline_with_vantages(
         ..Default::default()
     };
     let mut table4 = Vec::new();
-    for det in &generic_candidates {
-        if det.rank >= 10_000 {
-            continue;
-        }
-        triage.top10k_candidates += 1;
-        let site = by_domain[det.domain.as_str()];
-        let out = watch_session(site, vantages, rng);
+    let triage_dets: Vec<&SiteDetection> = generic_candidates
+        .iter()
+        .filter(|det| det.rank < 10_000)
+        .copied()
+        .collect();
+    triage.top10k_candidates = triage_dets.len();
+    let triage_sites: Vec<&Website> = triage_dets
+        .iter()
+        .map(|det| by_domain[det.domain.as_str()])
+        .collect();
+    let triage_outcomes = watch_sessions(&triage_sites, vantages, rng.next_u64(), workers);
+    for ((det, site), out) in triage_dets.iter().zip(&triage_sites).zip(&triage_outcomes) {
         match out.verdict {
             DynamicVerdict::PdnConfirmed => {
                 triage.confirmed_private += 1;
@@ -239,7 +252,7 @@ pub fn run_pipeline_with_vantages(
             DynamicVerdict::NoTraffic => triage.untriggered += 1,
         }
     }
-    table4.sort_by(|a, b| b.monthly_visits.cmp(&a.monthly_visits));
+    table4.sort_by_key(|row| std::cmp::Reverse(row.monthly_visits));
 
     // ---- extracted keys ----
     let keys = scan
@@ -310,7 +323,12 @@ impl DetectionReport {
                 Some(v) => v.to_string(),
                 None => "-".into(),
             };
-            out.push_str(&format!("{:<34} {:<11} {}\n", r.name, r.provider.to_string(), pop));
+            out.push_str(&format!(
+                "{:<34} {:<11} {}\n",
+                r.name,
+                r.provider.to_string(),
+                pop
+            ));
         }
         out
     }
@@ -377,8 +395,11 @@ mod tests {
             .iter()
             .filter(|x| x.popularity.unwrap_or(0) >= 1_000_000)
             .count();
-        assert_eq!(over_1m, 10, "9 over 1M in the paper counts >1M strictly; \
-                                 our seeded visits include 10 at >=1M");
+        assert_eq!(
+            over_1m, 10,
+            "9 over 1M in the paper counts >1M strictly; \
+                                 our seeded visits include 10 at >=1M"
+        );
     }
 
     #[test]

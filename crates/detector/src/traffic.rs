@@ -20,7 +20,7 @@ use pdn_simnet::{Addr, CapturedFrame};
 use pdn_webrtc::{dtls, stun};
 
 /// What the capture analysis found.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrafficReport {
     /// Number of STUN binding requests seen.
     pub stun_binding_requests: usize,
@@ -66,8 +66,8 @@ pub fn analyze_capture(frames: &[CapturedFrame], infra: &[Ipv4Addr]) -> TrafficR
             continue;
         }
         report.dtls_frames += 1;
-        let pair_known = report.candidate_peers.contains(&f.src)
-            && report.candidate_peers.contains(&f.dst);
+        let pair_known =
+            report.candidate_peers.contains(&f.src) && report.candidate_peers.contains(&f.dst);
         if pair_known && !is_infra(&f.src) && !is_infra(&f.dst) {
             let pair = if f.src <= f.dst {
                 (f.src, f.dst)
@@ -110,13 +110,21 @@ mod tests {
         let peer_b = Addr::new(20, 0, 0, 2, 4000);
         let stun_srv = Addr::new(30, 0, 0, 1, 3478);
         let frames = vec![
-            frame(peer_a, stun_srv, stun::Message::binding_request([1; 12]).encode()),
+            frame(
+                peer_a,
+                stun_srv,
+                stun::Message::binding_request([1; 12]).encode(),
+            ),
             frame(
                 stun_srv,
                 peer_a,
                 stun::Message::binding_success([1; 12], peer_a).encode(),
             ),
-            frame(peer_a, peer_b, stun::Message::binding_request([2; 12]).encode()),
+            frame(
+                peer_a,
+                peer_b,
+                stun::Message::binding_request([2; 12]).encode(),
+            ),
             frame(
                 peer_b,
                 peer_a,

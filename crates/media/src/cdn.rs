@@ -102,7 +102,8 @@ impl EdgeCache {
             self.used_bytes -= seg.len();
         }
         self.used_bytes += size;
-        self.entries.insert(segment.id.clone(), (segment, self.clock));
+        self.entries
+            .insert(segment.id.clone(), (segment, self.clock));
     }
 
     /// `(hits, misses)` so far.
@@ -117,8 +118,7 @@ impl EdgeCache {
 }
 
 /// Egress accounting of a CDN distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct CdnBill {
     /// Total bytes served to clients.
     pub egress_bytes: u64,
@@ -286,7 +286,10 @@ mod tests {
     fn lru_evicts_oldest() {
         let seg_size = {
             let c = cdn();
-            c.origin().source(&VideoId::new("v")).unwrap().segment_size(0)
+            c.origin()
+                .source(&VideoId::new("v"))
+                .unwrap()
+                .segment_size(0)
         };
         let mut origin = OriginServer::new();
         origin.publish(VideoSource::vod(

@@ -82,7 +82,11 @@ impl MediaPlaylist {
         out.push_str(&format!("#EXT-X-TARGETDURATION:{}\n", self.target_duration));
         out.push_str(&format!("#EXT-X-MEDIA-SEQUENCE:{}\n", self.media_sequence));
         for e in &self.entries {
-            out.push_str(&format!("#EXTINF:{:.3},\n{}\n", e.duration.as_secs_f64(), e.uri));
+            out.push_str(&format!(
+                "#EXTINF:{:.3},\n{}\n",
+                e.duration.as_secs_f64(),
+                e.uri
+            ));
         }
         if self.ended {
             out.push_str("#EXT-X-ENDLIST\n");
@@ -236,12 +240,7 @@ mod tests {
     use super::*;
 
     fn src() -> VideoSource {
-        VideoSource::vod(
-            "v",
-            vec![1_000_000, 3_000_000],
-            Duration::from_secs(10),
-            5,
-        )
+        VideoSource::vod("v", vec![1_000_000, 3_000_000], Duration::from_secs(10), 5)
     }
 
     #[test]

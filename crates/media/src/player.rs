@@ -14,8 +14,7 @@ use pdn_simnet::SimTime;
 use crate::source::{Segment, SegmentId};
 
 /// Where a delivered segment came from, for offload accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum DeliverySource {
     /// Downloaded from the CDN.
     Cdn,

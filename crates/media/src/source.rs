@@ -13,8 +13,9 @@ use std::time::Duration;
 
 /// Identifier of a video or live channel (the paper composes video IDs from
 /// fully-qualified manifest URLs, §V-A).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct VideoId(pub String);
 
 impl VideoId {
@@ -37,8 +38,7 @@ impl From<&str> for VideoId {
 }
 
 /// Identifies one segment of one rendition of one video.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct SegmentId {
     /// The video.
     pub video: VideoId,
@@ -189,9 +189,7 @@ impl VideoSource {
         }
         let size = self.segment_size(rendition);
         let mut rng = SimRng::seed(
-            self.content_seed
-                ^ (rendition as u64) << 56
-                ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            self.content_seed ^ (rendition as u64) << 56 ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15),
         );
         let mut data = vec![0u8; size];
         for chunk in data.chunks_mut(8) {

@@ -56,8 +56,7 @@ impl CustomerAccount {
 }
 
 /// Why a join was denied.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum AuthError {
     /// No account matches the presented API key.
     UnknownKey,
@@ -152,8 +151,7 @@ impl AccountRegistry {
 }
 
 /// The disposable, video-binding token of §V-A (Listing 1).
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PdnToken {
     /// Customer identifier assigned by the provider.
     pub customer_id: String,
@@ -214,7 +212,7 @@ impl TokenValidator {
         if now_unix > token.timestamp + token.ttl {
             return Err(AuthError::InvalidToken("expired".into()));
         }
-        if !token.video_ids.iter().any(|v| *v == video.0) {
+        if !token.video_ids.contains(&video.0) {
             return Err(AuthError::InvalidToken("video not bound".into()));
         }
         let key = (
@@ -249,7 +247,9 @@ mod tests {
     fn default_settings_accept_any_origin() {
         // Peer5/Streamroot default: no allowlist — the cross-domain attack.
         let r = registry();
-        assert!(r.authenticate_key("key-example", "www.attacker.com").is_ok());
+        assert!(r
+            .authenticate_key("key-example", "www.attacker.com")
+            .is_ok());
     }
 
     #[test]
@@ -257,7 +257,8 @@ mod tests {
         let mut r = registry();
         r.by_key_mut("key-example").unwrap().allowlist_enabled = true;
         assert_eq!(
-            r.authenticate_key("key-example", "www.attacker.com").unwrap_err(),
+            r.authenticate_key("key-example", "www.attacker.com")
+                .unwrap_err(),
             AuthError::OriginNotAllowed
         );
         // …but a spoofed Origin header sails through: the server cannot
@@ -275,7 +276,8 @@ mod tests {
         );
         r.by_key_mut("key-example").unwrap().expired = true;
         assert_eq!(
-            r.authenticate_key("key-example", "www.example.com").unwrap_err(),
+            r.authenticate_key("key-example", "www.example.com")
+                .unwrap_err(),
             AuthError::ExpiredKey
         );
     }

@@ -10,8 +10,7 @@
 use std::time::Duration;
 
 /// How a provider charges a customer.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum BillingModel {
     /// Dollars per terabyte of P2P traffic (Peer5: $500 / 50 TB = $10/TB).
     PerP2pTraffic {
@@ -26,8 +25,7 @@ pub enum BillingModel {
 }
 
 /// Usage meters for one customer account.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct UsageMeter {
     /// P2P bytes reported by this customer's peers.
     pub p2p_bytes: u64,
@@ -56,9 +54,7 @@ impl UsageMeter {
     /// The charge under `model`.
     pub fn cost_usd(&self, model: BillingModel) -> f64 {
         match model {
-            BillingModel::PerP2pTraffic { usd_per_tb } => {
-                self.p2p_bytes as f64 / 1e12 * usd_per_tb
-            }
+            BillingModel::PerP2pTraffic { usd_per_tb } => self.p2p_bytes as f64 / 1e12 * usd_per_tb,
             BillingModel::PerViewerHour { usd_per_hour } => {
                 self.viewer_seconds as f64 / 3600.0 * usd_per_hour
             }

@@ -11,8 +11,7 @@
 use crate::billing::BillingModel;
 
 /// Public (multi-tenant SaaS) vs private (single-platform) service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ProviderKind {
     /// Subscription service with an SDK embedded by many customers.
     Public,
@@ -22,8 +21,7 @@ pub enum ProviderKind {
 
 /// Cellular-data policy pushed to mobile SDKs (§IV-D resource squatting:
 /// three Peer5 apps allowed cellular upload + download).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum CellularPolicy {
     /// Never use P2P on cellular links.
     Disabled,
@@ -34,8 +32,7 @@ pub enum CellularPolicy {
 }
 
 /// The authentication scheme a provider runs.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum AuthScheme {
     /// Persistent static API key embedded in pages (all public providers).
     StaticApiKey,
@@ -55,8 +52,7 @@ pub enum AuthScheme {
 }
 
 /// A provider's complete security posture.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ProviderProfile {
     /// Display name, e.g. `"Peer5"`.
     pub name: String,

@@ -22,8 +22,7 @@ pub const TLS_MARKER: &[u8; 4] = b"TLS|";
 pub const HTTP_MARKER: &[u8; 4] = b"HTP|";
 
 /// Signaling messages (peer ↔ PDN server).
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum SignalMsg {
     /// Peer requests to join the swarm for `video`.
     Join {
@@ -671,14 +670,27 @@ mod tests {
         for cut in [1, 5, 10, enc.len() - 1] {
             assert!(P2pMsg::decode(&enc[..cut]).is_none(), "cut at {cut}");
         }
-        assert!(HttpRequest::decode(&HttpRequest::GetMaster { video: VideoId::new("v") }.encode()[..5]).is_none());
+        assert!(HttpRequest::decode(
+            &HttpRequest::GetMaster {
+                video: VideoId::new("v")
+            }
+            .encode()[..5]
+        )
+        .is_none());
     }
 
     #[test]
     fn signaling_is_opaque_without_marker_knowledge() {
         // A passive sniffer classifies but cannot confuse planes.
-        let sig = SignalMsg::StatsReport { p2p_up_bytes: 0, p2p_down_bytes: 0 }.encode();
-        let http = HttpRequest::GetMaster { video: VideoId::new("v") }.encode();
+        let sig = SignalMsg::StatsReport {
+            p2p_up_bytes: 0,
+            p2p_down_bytes: 0,
+        }
+        .encode();
+        let http = HttpRequest::GetMaster {
+            video: VideoId::new("v"),
+        }
+        .encode();
         assert!(SignalMsg::is_signaling(&sig));
         assert!(!SignalMsg::is_signaling(&http));
         assert!(HttpRequest::decode(&sig).is_none());

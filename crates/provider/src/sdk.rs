@@ -24,9 +24,7 @@ use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 use bytes::Bytes;
-use pdn_media::{
-    DeliverySource, MediaPlaylist, Player, Segment, SegmentId, VideoId,
-};
+use pdn_media::{DeliverySource, MediaPlaylist, Player, Segment, SegmentId, VideoId};
 use pdn_simnet::{Addr, SimRng, SimTime};
 use pdn_webrtc::{
     dtls, stun, Certificate, DataChannel, DtlsEndpoint, IceAgent, IceEvent, SessionDescription,
@@ -120,7 +118,11 @@ pub struct AgentConfig {
 
 impl AgentConfig {
     /// A reasonable default configuration for tests and examples.
-    pub fn new(video: impl Into<VideoId>, api_key: impl Into<String>, origin: impl Into<String>) -> Self {
+    pub fn new(
+        video: impl Into<VideoId>,
+        api_key: impl Into<String>,
+        origin: impl Into<String>,
+    ) -> Self {
         AgentConfig {
             video: video.into(),
             rendition: 0,
@@ -442,8 +444,7 @@ impl PdnAgent {
                 let (Some(im), Some(sig)) = (parse_hex32(&im), parse_hex32(&sig)) else {
                     return Vec::new();
                 };
-                if !crate::signaling::SignalingServer::verify_sim(&self.config.sim_key, &im, &sig)
-                {
+                if !crate::signaling::SignalingServer::verify_sim(&self.config.sim_key, &im, &sig) {
                     return Vec::new();
                 }
                 self.sims.insert((rendition, seq), (im, sig));
@@ -561,8 +562,7 @@ impl PdnAgent {
                     }
                 }
             } else if conn.role == ConnRole::Initiator && conn.dtls.is_some() {
-                if let (Some(hello), Some(remote)) =
-                    (conn.client_hello.clone(), conn.remote_media)
+                if let (Some(hello), Some(remote)) = (conn.client_hello.clone(), conn.remote_media)
                 {
                     retransmits.push((remote, hello));
                 }
@@ -600,10 +600,7 @@ impl PdnAgent {
         }
 
         // Live playlists slide: refetch periodically until ENDLIST.
-        if self
-            .manifest
-            .as_ref()
-            .is_some_and(|m| !m.ended)
+        if self.manifest.as_ref().is_some_and(|m| !m.ended)
             && now.saturating_since(self.last_playlist_fetch) >= Duration::from_secs(2)
         {
             self.last_playlist_fetch = now;
@@ -645,8 +642,7 @@ impl PdnAgent {
             .requested
             .iter()
             .filter(|(_, (via, at))| {
-                matches!(via, RequestVia::Peer(_))
-                    && now.saturating_since(*at) > costs::P2P_TIMEOUT
+                matches!(via, RequestVia::Peer(_)) && now.saturating_since(*at) > costs::P2P_TIMEOUT
             })
             .map(|(seq, _)| *seq)
             .collect();
@@ -860,9 +856,7 @@ impl PdnAgent {
         // signaled (symmetric NATs map per-destination).
         if let Ok(msg) = stun::Message::decode(data) {
             if msg.class == stun::Class::Request {
-                if let Some(remote_ufrag) =
-                    msg.username().and_then(|u| u.split(':').nth(1))
-                {
+                if let Some(remote_ufrag) = msg.username().and_then(|u| u.split(':').nth(1)) {
                     if let Some(conn) = self
                         .conns
                         .iter_mut()
@@ -967,8 +961,7 @@ impl PdnAgent {
     fn on_dtls(&mut self, from: Addr, data: &[u8], now: SimTime) -> Vec<AgentOut> {
         let Some(idx) = self.conns.iter().position(|c| {
             c.remote_media == Some(from)
-                || (c.remote_media.is_none()
-                    && c.remote_sdp.candidate_addrs().any(|a| a == from))
+                || (c.remote_media.is_none() && c.remote_sdp.candidate_addrs().any(|a| a == from))
         }) else {
             return Vec::new();
         };
@@ -1124,8 +1117,7 @@ impl PdnAgent {
                 if segment.id.rendition != rendition {
                     return Vec::new();
                 }
-                let Some(idx) = self.conns.iter().position(|c| c.remote_peer == from_peer)
-                else {
+                let Some(idx) = self.conns.iter().position(|c| c.remote_peer == from_peer) else {
                     return Vec::new();
                 };
                 let sim = self.sims.get(&(segment.id.rendition, seq)).copied();
@@ -1199,8 +1191,7 @@ impl PdnAgent {
             return Vec::new();
         };
         let computed = compute_im(&segment.data, &self.config.video.0, rendition, seq);
-        let sig_ok =
-            crate::signaling::SignalingServer::verify_sim(&self.config.sim_key, im, sig);
+        let sig_ok = crate::signaling::SignalingServer::verify_sim(&self.config.sim_key, im, sig);
         if !sig_ok || computed != *im {
             // Polluted: reject and refetch from the CDN.
             self.polluted_rejections += 1;
@@ -1413,12 +1404,7 @@ mod tests {
     }
 
     fn playlist_text() -> String {
-        let src = pdn_media::VideoSource::vod(
-            "v",
-            vec![400_000],
-            Duration::from_secs(4),
-            10,
-        );
+        let src = pdn_media::VideoSource::vod("v", vec![400_000], Duration::from_secs(4), 10);
         MediaPlaylist::for_source(&src, 0, 0, 10).encode()
     }
 
@@ -1514,8 +1500,7 @@ mod tests {
             SimTime::ZERO,
         );
         a.on_tick(SimTime::from_millis(500));
-        let src =
-            pdn_media::VideoSource::vod("v", vec![400_000], Duration::from_secs(4), 10);
+        let src = pdn_media::VideoSource::vod("v", vec![400_000], Duration::from_secs(4), 10);
         let seg = src.segment(0, 0).unwrap();
         a.on_http(
             HttpResponse::Segment {
@@ -1551,8 +1536,7 @@ mod tests {
             },
             SimTime::ZERO,
         );
-        let src =
-            pdn_media::VideoSource::vod("v", vec![400_000], Duration::from_secs(4), 10);
+        let src = pdn_media::VideoSource::vod("v", vec![400_000], Duration::from_secs(4), 10);
         let outs = a.on_http(
             HttpResponse::Segment {
                 video: VideoId::new("v"),

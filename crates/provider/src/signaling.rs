@@ -19,8 +19,7 @@ use crate::profiles::{AuthScheme, ProviderProfile};
 use crate::proto::SignalMsg;
 
 /// How the server picks neighbor candidates (§V-C mitigation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum MatchingPolicy {
     /// Introduce any swarm member (the measured default — maximal leak).
     Global,
@@ -63,8 +62,7 @@ struct ImEntry {
 }
 
 /// Counters describing server-side defense activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DefenseStats {
     /// IM conflicts detected.
     pub im_conflicts: u64,
@@ -242,7 +240,17 @@ impl SignalingServer {
                 video,
                 manifest_hash,
                 sdp,
-            } => self.on_join(from, api_key, token, origin, video, manifest_hash, sdp, now, geoip),
+            } => self.on_join(
+                from,
+                api_key,
+                token,
+                origin,
+                video,
+                manifest_hash,
+                sdp,
+                now,
+                geoip,
+            ),
             SignalMsg::StatsReport {
                 p2p_up_bytes,
                 p2p_down_bytes,
@@ -347,13 +355,7 @@ impl SignalingServer {
         let meter = self.meters.entry(customer_id).or_default();
         meter.add_join();
 
-        let mut out = vec![(
-            from,
-            SignalMsg::JoinOk {
-                peer_id,
-                neighbors,
-            },
-        )];
+        let mut out = vec![(from, SignalMsg::JoinOk { peer_id, neighbors })];
         for addr in notify {
             out.push((
                 addr,
@@ -386,9 +388,9 @@ impl SignalingServer {
                     None => Err(AuthError::InvalidToken("unknown temp token".into())),
                     Some(None) => Ok("platform".into()),
                     Some(Some(bound)) if bound.0 == video => Ok("platform".into()),
-                    Some(Some(_)) => {
-                        Err(AuthError::InvalidToken("token bound to another video".into()))
-                    }
+                    Some(Some(_)) => Err(AuthError::InvalidToken(
+                        "token bound to another video".into(),
+                    )),
                 }
             }
             AuthScheme::DisposableJwt => {
@@ -648,12 +650,22 @@ mod tests {
     #[test]
     fn join_and_neighbor_introduction() {
         let (mut s, geo) = server();
-        let replies = s.handle(addr(1), join("victim.tv", "v", "key-victim", 1), SimTime::ZERO, &geo);
+        let replies = s.handle(
+            addr(1),
+            join("victim.tv", "v", "key-victim", 1),
+            SimTime::ZERO,
+            &geo,
+        );
         assert!(matches!(
             replies[..],
             [(_, SignalMsg::JoinOk { peer_id: 1, ref neighbors })] if neighbors.is_empty()
         ));
-        let replies = s.handle(addr(2), join("victim.tv", "v", "key-victim", 2), SimTime::ZERO, &geo);
+        let replies = s.handle(
+            addr(2),
+            join("victim.tv", "v", "key-victim", 2),
+            SimTime::ZERO,
+            &geo,
+        );
         // Second peer gets the first as a neighbor, first gets PeerJoined.
         assert_eq!(replies.len(), 2);
         assert!(matches!(
@@ -683,7 +695,10 @@ mod tests {
     #[test]
     fn allowlist_blocks_but_spoofed_origin_passes() {
         let (mut s, geo) = server();
-        s.accounts_mut().by_key_mut("key-victim").unwrap().allowlist_enabled = true;
+        s.accounts_mut()
+            .by_key_mut("key-victim")
+            .unwrap()
+            .allowlist_enabled = true;
         let denied = s.handle(
             addr(9),
             join("attacker.example", "v", "key-victim", 9),
@@ -706,7 +721,12 @@ mod tests {
         // The slow-start/manifest consistency that defeats *direct*
         // pollution: a peer with a doctored manifest never meets victims.
         let (mut s, geo) = server();
-        s.handle(addr(1), join("victim.tv", "v", "key-victim", 1), SimTime::ZERO, &geo);
+        s.handle(
+            addr(1),
+            join("victim.tv", "v", "key-victim", 1),
+            SimTime::ZERO,
+            &geo,
+        );
         let mut msg = join("victim.tv", "v", "key-victim", 2);
         if let SignalMsg::Join { manifest_hash, .. } = &mut msg {
             *manifest_hash = "DOCTORED".into();
@@ -721,7 +741,12 @@ mod tests {
     #[test]
     fn stats_reports_bill_the_key_owner() {
         let (mut s, geo) = server();
-        s.handle(addr(1), join("x", "v", "key-victim", 1), SimTime::ZERO, &geo);
+        s.handle(
+            addr(1),
+            join("x", "v", "key-victim", 1),
+            SimTime::ZERO,
+            &geo,
+        );
         s.handle(
             addr(1),
             SignalMsg::StatsReport {
@@ -770,14 +795,11 @@ mod tests {
         let mut profile = profile;
         profile.auth = AuthScheme::StaticApiKey;
         let mut s = SignalingServer::new(profile, 7);
-        s.accounts_mut().register(CustomerAccount::new("c", "k", []));
+        s.accounts_mut()
+            .register(CustomerAccount::new("c", "k", []));
         s.set_im_reporters(2);
-        let src = pdn_media::VideoSource::vod(
-            "v",
-            vec![400_000],
-            std::time::Duration::from_secs(4),
-            10,
-        );
+        let src =
+            pdn_media::VideoSource::vod("v", vec![400_000], std::time::Duration::from_secs(4), 10);
         let mut origin = OriginServer::new();
         origin.publish(src.clone());
         s.attach_origin(origin);
@@ -804,7 +826,10 @@ mod tests {
                 &geo,
             )
         };
-        assert!(report(&mut s, addr(1)).is_empty(), "below quorum: no SIM yet");
+        assert!(
+            report(&mut s, addr(1)).is_empty(),
+            "below quorum: no SIM yet"
+        );
         let out = report(&mut s, addr(2));
         // Quorum reached: SIM broadcast to both members.
         let sims = out
@@ -854,7 +879,9 @@ mod tests {
         assert!(stats.cdn_refetch_bytes > 0);
         assert_eq!(stats.blacklisted_peers, 1);
         assert!(s.is_blacklisted(2));
-        assert!(out.iter().any(|(a, m)| matches!(m, SignalMsg::Blacklisted { .. }) && *a == addr(2)));
+        assert!(out
+            .iter()
+            .any(|(a, m)| matches!(m, SignalMsg::Blacklisted { .. }) && *a == addr(2)));
         let sim_ok = out.iter().any(|(_, m)| {
             matches!(m, SignalMsg::SimBroadcast { im, .. } if *im == pdn_crypto::hex(&honest_im))
         });
@@ -870,20 +897,32 @@ mod tests {
         let honest = compute_im(&seg.data, "v", 0, 5);
         s.handle(
             addr(1),
-            SignalMsg::ImReport { video: "v".into(), rendition: 0, seq: 5, im: pdn_crypto::hex(&honest) },
+            SignalMsg::ImReport {
+                video: "v".into(),
+                rendition: 0,
+                seq: 5,
+                im: pdn_crypto::hex(&honest),
+            },
             SimTime::ZERO,
             &geo,
         );
         s.handle(
             addr(2),
-            SignalMsg::ImReport { video: "v".into(), rendition: 0, seq: 5, im: pdn_crypto::hex(&[9u8; 32]) },
+            SignalMsg::ImReport {
+                video: "v".into(),
+                rendition: 0,
+                seq: 5,
+                im: pdn_crypto::hex(&[9u8; 32]),
+            },
             SimTime::ZERO,
             &geo,
         );
         assert!(s.is_blacklisted(2));
         // The expelled address is refused at the door.
         let r = s.handle(addr(2), join("x", "v", "k", 3), SimTime::from_secs(1), &geo);
-        assert!(matches!(&r[..], [(_, SignalMsg::JoinDenied { reason })] if reason.contains("blacklist")));
+        assert!(
+            matches!(&r[..], [(_, SignalMsg::JoinDenied { reason })] if reason.contains("blacklist"))
+        );
     }
 
     #[test]

@@ -11,9 +11,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use pdn_media::{Cdn, OriginServer, VideoSource};
-use pdn_simnet::{
-    Addr, Event, GeoInfo, LinkSpec, NatKind, Network, NodeId, SimTime, Transport,
-};
+use pdn_simnet::{Addr, Event, GeoInfo, LinkSpec, NatKind, Network, NodeId, SimTime, Transport};
 use pdn_webrtc::{stun, turn::TurnServer};
 
 use crate::profiles::ProviderProfile;
@@ -391,7 +389,8 @@ impl PdnWorld {
         let actions = if dgram.dst.port == 3478 {
             self.turn.handle_packet(dgram.src, &dgram.payload)
         } else {
-            self.turn.handle_relayed(dgram.dst.port, dgram.src, &dgram.payload)
+            self.turn
+                .handle_relayed(dgram.dst.port, dgram.src, &dgram.payload)
         };
         for TurnAction::SendTo { to, data } in actions {
             // A target on the relay's own IP is another client's relayed
@@ -448,8 +447,7 @@ impl PdnWorld {
                     );
                 }
                 AgentOut::UdpSend { to, data } => {
-                    self.net
-                        .send(node, ports::MEDIA, to, Transport::Udp, data);
+                    self.net.send(node, ports::MEDIA, to, Transport::Udp, data);
                 }
                 AgentOut::ChargeCpu(d) => self.net.resources_mut(node).charge_cpu(d),
                 AgentOut::AllocMem(b) => self.net.resources_mut(node).alloc_mem(b),
@@ -465,11 +463,14 @@ pub fn demo_world(seed: u64) -> (PdnWorld, Vec<NodeId>) {
     use crate::auth::CustomerAccount;
 
     let mut world = PdnWorld::new(ProviderProfile::peer5(), seed);
-    world.server_mut().accounts_mut().register(CustomerAccount::new(
-        "demo-customer",
-        "demo-key",
-        ["demo.tv".to_string()],
-    ));
+    world
+        .server_mut()
+        .accounts_mut()
+        .register(CustomerAccount::new(
+            "demo-customer",
+            "demo-key",
+            ["demo.tv".to_string()],
+        ));
     world.publish_video(VideoSource::vod(
         "demo-video",
         vec![1_000_000],

@@ -9,8 +9,9 @@
 use std::net::Ipv4Addr;
 
 /// A transport address: IPv4 address plus UDP/TCP port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Addr {
     /// The IPv4 address.
     pub ip: Ipv4Addr,
@@ -50,8 +51,7 @@ impl std::fmt::Display for Addr {
 }
 
 /// Classification of an IPv4 address, following the paper's bogon taxonomy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum IpClass {
     /// Globally routable.
     Public,

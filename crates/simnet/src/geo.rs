@@ -43,8 +43,7 @@ pub fn continent_of(country: &str) -> Continent {
 }
 
 /// Geographic + network registration of a host.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct GeoInfo {
     /// Country code, e.g. `"CN"`.
     pub country: String,

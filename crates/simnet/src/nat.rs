@@ -10,8 +10,7 @@ use std::collections::HashMap;
 use crate::addr::Addr;
 
 /// The classic NAT behaviour taxonomy (RFC 3489 terminology).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum NatKind {
     /// Endpoint-independent mapping and filtering: anyone may send to the
     /// mapped address once it exists.
@@ -126,9 +125,9 @@ impl Nat {
             NatKind::RestrictedCone => contacted
                 .map(|v| v.iter().any(|a| a.ip == remote.ip))
                 .unwrap_or(false),
-            NatKind::PortRestrictedCone | NatKind::Symmetric => contacted
-                .map(|v| v.iter().any(|a| *a == remote))
-                .unwrap_or(false),
+            NatKind::PortRestrictedCone | NatKind::Symmetric => {
+                contacted.map(|v| v.contains(&remote)).unwrap_or(false)
+            }
         };
         admitted.then_some(internal)
     }

@@ -31,8 +31,9 @@ use crate::rng::SimRng;
 use crate::time::SimTime;
 
 /// Identifier of a simulated host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl std::fmt::Display for NodeId {
@@ -46,8 +47,7 @@ impl std::fmt::Display for NodeId {
 pub struct NatId(pub u32);
 
 /// Transport protocol tag carried on each datagram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Transport {
     /// Unreliable datagram (STUN, DTLS, media).
     Udp,
@@ -565,12 +565,12 @@ impl Network {
             }
         }
 
-        // Receiver-side tap.
-        let delivered_dgram = Datagram {
+        // Receiver-side tap. The clone is a refcount bump on the payload
+        // `Bytes`, not a copy; only a rewriting tap allocates.
+        let mut delivered_dgram = Datagram {
             dst: final_dst,
             ..dgram.clone()
         };
-        let mut delivered_dgram = delivered_dgram;
         if let Some(verdict) = self.apply_tap(dest_node, TapDirection::Inbound, &delivered_dgram) {
             if verdict.drop {
                 return SendOutcome::Dropped(DropReason::Tapped);
@@ -789,6 +789,36 @@ mod tests {
     }
 
     #[test]
+    fn non_rewrite_send_path_never_copies_the_payload() {
+        // The payload `Bytes` must be shared by refcount from send through
+        // capture to delivery: same backing allocation, zero copies, as
+        // long as no tap rewrites it.
+        let mut net = Network::new(1);
+        net.set_capture(true);
+        let (a, b) = two_public_hosts(&mut net);
+        let dst = Addr::from_ip(net.ip(b), 80);
+        let payload = Bytes::from(vec![0xAB; 1024]);
+        let sent_ptr = payload.as_ptr();
+        let out = net.send(a, 5000, dst, Transport::Tcp, payload);
+        assert!(out.is_sent());
+        let captured = &net.capture()[0];
+        assert_eq!(
+            captured.payload.as_ptr(),
+            sent_ptr,
+            "capture ring must share the sender's allocation"
+        );
+        let (_, ev) = net.step().expect("one event");
+        let Event::Packet { dgram, .. } = ev else {
+            panic!("unexpected event {ev:?}");
+        };
+        assert_eq!(
+            dgram.payload.as_ptr(),
+            sent_ptr,
+            "delivered datagram must share the sender's allocation"
+        );
+    }
+
+    #[test]
     fn unroutable_dropped() {
         let mut net = Network::new(1);
         let (a, _) = two_public_hosts(&mut net);
@@ -828,7 +858,13 @@ mod tests {
         let client = net.add_host_behind(nat, geo("US"), LinkSpec::residential());
 
         let server_addr = Addr::from_ip(net.ip(server), 3478);
-        let out = net.send(client, 7000, server_addr, Transport::Udp, Bytes::from_static(b"req"));
+        let out = net.send(
+            client,
+            7000,
+            server_addr,
+            Transport::Udp,
+            Bytes::from_static(b"req"),
+        );
         assert!(out.is_sent());
         let (_, ev) = net.step().unwrap();
         let observed_src = match ev {
@@ -843,7 +879,13 @@ mod tests {
         };
 
         // Reply to the mapping succeeds (same ip+port).
-        let back = net.send(server, 3478, observed_src, Transport::Udp, Bytes::from_static(b"ok"));
+        let back = net.send(
+            server,
+            3478,
+            observed_src,
+            Transport::Udp,
+            Bytes::from_static(b"ok"),
+        );
         assert!(back.is_sent());
         let (_, ev) = net.step().unwrap();
         match ev {

@@ -13,8 +13,7 @@ use std::time::Duration;
 use crate::time::SimTime;
 
 /// One per-second sample of a node's resources (a `docker stats` row).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ResourceSample {
     /// Sample time.
     pub at: SimTime,
@@ -150,8 +149,7 @@ pub fn series_to_csv(samples: &[ResourceSample]) -> String {
 }
 
 /// Aggregate statistics over a sampled series.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct ResourceSummary {
     /// Mean CPU utilisation across samples.
     pub mean_cpu: f64,

@@ -34,8 +34,7 @@ impl Certificate {
 }
 
 /// A certificate fingerprint (SHA-256).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct Fingerprint(pub [u8; 32]);
 
 impl std::fmt::Display for Fingerprint {

@@ -95,11 +95,15 @@ pub enum Role {
 #[derive(Debug)]
 enum State {
     /// Client: hello sent, awaiting ServerHello.
-    AwaitServerHello { client_hello: Vec<u8> },
+    AwaitServerHello {
+        client_hello: Vec<u8>,
+    },
     /// Server: awaiting ClientHello.
     AwaitClientHello,
     /// Server: hello sent, awaiting client Finished.
-    AwaitClientFinished { transcript: [u8; 32] },
+    AwaitClientFinished {
+        transcript: [u8; 32],
+    },
     Established,
     Failed,
 }
@@ -425,7 +429,10 @@ impl DtlsEndpoint {
         if record.len() < 13 + 16 || record[0] != CT_APPDATA || record[1..3] != VERSION {
             return Err(DtlsError::BadRecord);
         }
-        let keys = self.keys.as_ref().expect("established or awaiting implies keys");
+        let keys = self
+            .keys
+            .as_ref()
+            .expect("established or awaiting implies keys");
         let read_key = match self.role {
             Role::Client => &keys.server_write,
             Role::Server => &keys.client_write,
@@ -525,6 +532,11 @@ pub fn handshake(
     Ok(())
 }
 
+fn _assert_send() {
+    fn check<T: Send>() {}
+    check::<DtlsEndpoint>();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,8 +605,7 @@ mod tests {
         let ccert = Certificate::generate(&mut rng);
         let real_server = Certificate::generate(&mut rng);
         let mitm = Certificate::generate(&mut rng);
-        let (mut c, hello) =
-            DtlsEndpoint::client(ccert, Some(real_server.fingerprint()), &mut rng);
+        let (mut c, hello) = DtlsEndpoint::client(ccert, Some(real_server.fingerprint()), &mut rng);
         let mut m = DtlsEndpoint::server(mitm, None, &mut rng);
         let flight = m.handle_handshake(&hello, &mut rng).unwrap().unwrap();
         assert_eq!(
@@ -661,9 +672,4 @@ mod tests {
         assert!(!is_dtls(&stun));
         assert!(crate::stun::is_stun(&stun));
     }
-}
-
-fn _assert_send() {
-    fn check<T: Send>() {}
-    check::<DtlsEndpoint>();
 }

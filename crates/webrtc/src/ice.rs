@@ -78,12 +78,7 @@ impl IceAgent {
     /// WebRTC shares one ufrag/pwd per peer session; the PDN SDK runs one
     /// connection agent per neighbor but signals a single SDP, so all of a
     /// peer's agents must answer to the same credentials.
-    pub fn with_credentials(
-        local_port: u16,
-        ufrag: String,
-        pwd: String,
-        rng: SimRng,
-    ) -> Self {
+    pub fn with_credentials(local_port: u16, ufrag: String, pwd: String, rng: SimRng) -> Self {
         IceAgent {
             local_ufrag: ufrag,
             local_pwd: pwd,
@@ -176,7 +171,7 @@ impl IceAgent {
     pub fn start_checks(&mut self) -> Vec<IceEvent> {
         let remote = self.remote.as_ref().expect("remote description set");
         let mut targets: Vec<Candidate> = remote.candidates.clone();
-        targets.sort_by(|a, b| b.priority.cmp(&a.priority));
+        targets.sort_by_key(|c| std::cmp::Reverse(c.priority));
         let username = format!("{}:{}", remote.ice_ufrag, self.local_ufrag);
         let pwd = remote.ice_pwd.clone();
         let mut out = Vec::new();
@@ -222,7 +217,8 @@ impl IceAgent {
         let mut out = Vec::new();
         for addr in targets {
             let txid = self.fresh_txid();
-            self.in_flight.insert(txid, TxPurpose::Check { remote: addr });
+            self.in_flight
+                .insert(txid, TxPurpose::Check { remote: addr });
             self.checks_sent += 1;
             let msg = Message::binding_request(txid)
                 .with(Attribute::Username(username.clone()))
@@ -491,8 +487,8 @@ mod tests {
     #[test]
     fn check_for_other_agent_ignored() {
         let mut a = agent(4000, 5);
-        let check = Message::binding_request([1; 12])
-            .with(Attribute::Username("someoneelse:me".into()));
+        let check =
+            Message::binding_request([1; 12]).with(Attribute::Username("someoneelse:me".into()));
         assert!(a
             .handle_packet(Addr::new(1, 1, 1, 1, 1), &check.encode())
             .is_empty());

@@ -11,8 +11,9 @@ use pdn_simnet::Addr;
 use crate::cert::Fingerprint;
 
 /// Kind of ICE candidate, ordered by preference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum CandidateKind {
     /// Relay candidate allocated on a TURN server (least preferred).
     Relay,
@@ -24,8 +25,7 @@ pub enum CandidateKind {
 }
 
 /// One ICE candidate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct Candidate {
     /// Candidate type.
     pub kind: CandidateKind,
@@ -67,8 +67,7 @@ impl Candidate {
 
 /// The signaled half of a WebRTC session: ICE credentials, certificate
 /// fingerprint, and candidates.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SessionDescription {
     /// ICE username fragment.
     pub ice_ufrag: String,
@@ -142,7 +141,10 @@ mod tests {
             ice_ufrag: "u".into(),
             ice_pwd: "p".into(),
             fingerprint: cert.fingerprint(),
-            candidates: vec![Candidate::new(CandidateKind::Host, Addr::new(10, 0, 0, 1, 1))],
+            candidates: vec![Candidate::new(
+                CandidateKind::Host,
+                Addr::new(10, 0, 0, 1, 1),
+            )],
         };
         let json = serde_json::to_string(&sd).unwrap();
         let back: SessionDescription = serde_json::from_str(&json).unwrap();

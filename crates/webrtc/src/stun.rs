@@ -379,11 +379,7 @@ fn take_addr(val: &[u8], xored: bool, txid: &[u8; 12]) -> Option<Addr> {
     }
 }
 
-fn decode_attr(
-    at: u16,
-    val: &[u8],
-    txid: &[u8; 12],
-) -> Result<Option<Attribute>, DecodeStunError> {
+fn decode_attr(at: u16, val: &[u8], txid: &[u8; 12]) -> Result<Option<Attribute>, DecodeStunError> {
     let bad = DecodeStunError::BadAttribute(at);
     let attr = match at {
         0x0001 => Attribute::MappedAddress(take_addr(val, false, txid).ok_or(bad)?),
@@ -496,7 +492,10 @@ mod tests {
 
     #[test]
     fn non_stun_rejected() {
-        assert_eq!(Message::decode(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"), Err(DecodeStunError::NotStun));
+        assert_eq!(
+            Message::decode(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Err(DecodeStunError::NotStun)
+        );
         assert_eq!(Message::decode(&[0u8; 10]), Err(DecodeStunError::Truncated));
         assert!(!is_stun(b"hello world, this is not stun at all"));
     }
@@ -566,8 +565,18 @@ mod tests {
 
     #[test]
     fn all_class_method_combos() {
-        for class in [Class::Request, Class::Indication, Class::Success, Class::Error] {
-            for method in [Method::Binding, Method::Allocate, Method::Send, Method::Data] {
+        for class in [
+            Class::Request,
+            Class::Indication,
+            Class::Success,
+            Class::Error,
+        ] {
+            for method in [
+                Method::Binding,
+                Method::Allocate,
+                Method::Send,
+                Method::Data,
+            ] {
                 let m = Message::new(class, method, txid(9));
                 let back = Message::decode(&m.encode()).unwrap();
                 assert_eq!(back.class, class);

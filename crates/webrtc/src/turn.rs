@@ -115,7 +115,12 @@ impl TurnServer {
 
     /// Handles a packet arriving at a relayed port from the open Internet:
     /// forward to the owning client as a Data indication.
-    pub fn handle_relayed(&mut self, relayed_port: u16, from: Addr, data: &[u8]) -> Vec<TurnAction> {
+    pub fn handle_relayed(
+        &mut self,
+        relayed_port: u16,
+        from: Addr,
+        data: &[u8],
+    ) -> Vec<TurnAction> {
         let Some(&client) = self.allocations.get(&relayed_port) else {
             return Vec::new();
         };
@@ -200,8 +205,10 @@ mod tests {
         let bob = Addr::new(8, 8, 8, 8, 7000);
         turn.handle_packet(alice, &allocate_request([1; 12]));
 
-        let acts =
-            turn.handle_packet(alice, &send_indication([2; 12], bob, Bytes::from_static(b"hi")));
+        let acts = turn.handle_packet(
+            alice,
+            &send_indication([2; 12], bob, Bytes::from_static(b"hi")),
+        );
         assert_eq!(acts.len(), 1);
         let TurnAction::SendTo { to, data } = &acts[0];
         assert_eq!(*to, bob);

@@ -12,19 +12,33 @@ fn print_result(r: &pdn_core::IpLeakWildResult) {
     println!(
         "{:<10} arrivals {:>6}  unique IPs {:>6}  public {:>6}  bogons {:>4} \
          (private {}, nat {}, reserved {})",
-        r.name, r.arrivals, r.unique_ips, r.public_ips, r.bogons,
-        r.bogon_private, r.bogon_cgnat, r.bogon_reserved
+        r.name,
+        r.arrivals,
+        r.unique_ips,
+        r.public_ips,
+        r.bogons,
+        r.bogon_private,
+        r.bogon_cgnat,
+        r.bogon_reserved
     );
     let mut top: Vec<(&String, &usize)> = r.countries.iter().collect();
     top.sort_by(|a, b| b.1.cmp(a.1));
     let head: Vec<String> = top
         .iter()
         .take(3)
-        .map(|(c, n)| format!("{c} {:.0}%", **n as f64 / r.public_ips.max(1) as f64 * 100.0))
+        .map(|(c, n)| {
+            format!(
+                "{c} {:.0}%",
+                **n as f64 / r.public_ips.max(1) as f64 * 100.0
+            )
+        })
         .collect();
     println!(
         "{:<10} countries {:>3} cities {:>4}   top: {}",
-        "", r.countries.len(), r.cities, head.join(", ")
+        "",
+        r.countries.len(),
+        r.cities,
+        head.join(", ")
     );
 }
 
@@ -40,9 +54,21 @@ fn main() {
     );
 
     println!("\n== §V-C mitigation: same-country peer matching ==\n");
-    let huya_m = run_wild(&huya_population(), MatchingPolicy::SameCountry, "US", 7.0, 1);
+    let huya_m = run_wild(
+        &huya_population(),
+        MatchingPolicy::SameCountry,
+        "US",
+        7.0,
+        1,
+    );
     print_result(&huya_m);
-    let rt_m = run_wild(&rt_news_population(), MatchingPolicy::SameCountry, "US", 7.0, 2);
+    let rt_m = run_wild(
+        &rt_news_population(),
+        MatchingPolicy::SameCountry,
+        "US",
+        7.0,
+        2,
+    );
     print_result(&rt_m);
     println!(
         "\nleak reduction: Huya {} → {}   RT News {} → {} ({}% of baseline)",

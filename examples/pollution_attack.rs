@@ -10,7 +10,11 @@ use pdn_provider::{AuthScheme, ProviderProfile};
 fn report(label: &str, r: &pdn_core::PollutionResult) {
     println!(
         "{label:<34} {:<9} polluted played {:>2}/{:<2}  isolated={} rejections={} blacklisted={}",
-        if r.attack_succeeded() { "SUCCESS" } else { "blocked" },
+        if r.attack_succeeded() {
+            "SUCCESS"
+        } else {
+            "blocked"
+        },
         r.victim_polluted_played,
         r.victim_total_played,
         r.attacker_isolated,

@@ -15,11 +15,14 @@ use pdn_simnet::SimTime;
 fn main() {
     // A Peer5-like provider with one registered customer.
     let mut world = PdnWorld::new(ProviderProfile::peer5(), 7);
-    world.server_mut().accounts_mut().register(CustomerAccount::new(
-        "acme-video",
-        "acme-api-key",
-        ["acme.tv".to_string()],
-    ));
+    world
+        .server_mut()
+        .accounts_mut()
+        .register(CustomerAccount::new(
+            "acme-video",
+            "acme-api-key",
+            ["acme.tv".to_string()],
+        ));
 
     // A 2-minute VOD published on the CDN origin.
     world.publish_video(VideoSource::vod(

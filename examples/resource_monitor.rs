@@ -14,7 +14,10 @@ fn main() {
 
     println!("== Figure 4: resource consumption of serving as a PDN peer ==\n");
     let fig = resource_consumption(&profile, 120, 1);
-    println!("{:<9} {:>8} {:>10} {:>10} {:>10}", "viewer", "cpu", "mem MB", "rx MB", "tx MB");
+    println!(
+        "{:<9} {:>8} {:>10} {:>10} {:>10}",
+        "viewer", "cpu", "mem MB", "rx MB", "tx MB"
+    );
     for m in [&fig.no_peer, &fig.peer_a, &fig.peer_b] {
         println!(
             "{:<9} {:>7.1}% {:>10.1} {:>10.1} {:>10.1}",
@@ -33,7 +36,12 @@ fn main() {
 
     // A glimpse of the per-second series the figure plots.
     println!("\nPeer B per-second samples (t=20..30s):");
-    for s in fig.peer_b.series.iter().filter(|s| (20..30).contains(&(s.at.as_millis() / 1000))) {
+    for s in fig
+        .peer_b
+        .series
+        .iter()
+        .filter(|s| (20..30).contains(&(s.at.as_millis() / 1000)))
+    {
         println!(
             "  t={:>3}s cpu {:>5.1}% mem {:>6.1} MB rx {:>8} B/s tx {:>8} B/s",
             s.at.as_millis() / 1000,
@@ -45,7 +53,10 @@ fn main() {
     }
 
     println!("\n== Figure 5: bandwidth of serving multiple peers ==\n");
-    println!("{:>9} {:>12} {:>12} {:>9} {:>8} {:>8}", "neighbors", "upload MB", "download MB", "up/down", "stalls", "offload");
+    println!(
+        "{:>9} {:>12} {:>12} {:>9} {:>8} {:>8}",
+        "neighbors", "upload MB", "download MB", "up/down", "stalls", "offload"
+    );
     for p in bandwidth_scaling(&profile, 5, 90, 2) {
         println!(
             "{:>9} {:>12.1} {:>12.1} {:>8.2}x {:>8} {:>7.0}%",
@@ -57,5 +68,7 @@ fn main() {
             p.leech_offload * 100.0
         );
     }
-    println!("\n(the paper: upload reaches ~200% of download at 3 peers; QoS degrades past the uplink)");
+    println!(
+        "\n(the paper: upload reaches ~200% of download at 3 peers; QoS degrades past the uplink)"
+    );
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, formatting.
+# Run from the repo root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace --quiet
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "All checks passed."

@@ -43,8 +43,16 @@ fn figure4_overheads() {
     let fig = figure4(90, SEED);
     let cpu = fig.cpu_overhead();
     let mem = fig.mem_overhead();
-    assert!(cpu > 0.05 && cpu < 0.35, "+{:.0}% CPU (paper +15%)", cpu * 100.0);
-    assert!(mem > 0.03 && mem < 0.20, "+{:.0}% mem (paper +10%)", mem * 100.0);
+    assert!(
+        cpu > 0.05 && cpu < 0.35,
+        "+{:.0}% CPU (paper +15%)",
+        cpu * 100.0
+    );
+    assert!(
+        mem > 0.03 && mem < 0.20,
+        "+{:.0}% mem (paper +10%)",
+        mem * 100.0
+    );
 }
 
 #[test]

@@ -69,11 +69,11 @@ fn heterogeneous_swarm_completes_playback() {
         }
     }
     // Meaningful P2P happened somewhere.
-    let total_p2p: u64 = viewers
-        .iter()
-        .map(|&v| world.agent(v).traffic().1)
-        .sum();
-    assert!(total_p2p > 1_000_000, "swarm exchanged {total_p2p} bytes P2P");
+    let total_p2p: u64 = viewers.iter().map(|&v| world.agent(v).traffic().1).sum();
+    assert!(
+        total_p2p > 1_000_000,
+        "swarm exchanged {total_p2p} bytes P2P"
+    );
 }
 
 #[test]

@@ -1,0 +1,437 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of the `bytes` API the workspace uses: [`Bytes`]
+//! (cheaply cloneable, refcounted, zero-copy slices of a shared buffer),
+//! [`BytesMut`] (append-only builder that freezes into `Bytes`), and the
+//! [`BufMut`] write trait.
+//!
+//! Semantics intentionally match the real crate where the workspace relies
+//! on them:
+//!
+//! - `Bytes::clone` is O(1) and shares the underlying allocation — cloning a
+//!   payload for the capture ring or for delivery performs no byte copy.
+//!   `as_ptr()` of a clone equals `as_ptr()` of the original, which the
+//!   simnet zero-copy tests assert.
+//! - `Bytes::slice` returns a view into the same allocation.
+//! - `BytesMut::freeze` converts the builder into an immutable `Bytes`
+//!   without copying.
+
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// The backing storage of a [`Bytes`] handle.
+#[derive(Clone)]
+enum Storage {
+    /// Borrowed from static memory (`Bytes::from_static`).
+    Static(&'static [u8]),
+    /// Shared heap allocation.
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Storage {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Storage::Static(s) => s,
+            Storage::Shared(v) => v.as_slice(),
+        }
+    }
+}
+
+/// A cheaply cloneable, immutable, refcounted slice of bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    storage: Storage,
+    start: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub const fn new() -> Self {
+        Bytes {
+            storage: Storage::Static(&[]),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Creates `Bytes` borrowing from static memory (no allocation).
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            storage: Storage::Static(bytes),
+            start: 0,
+            len: bytes.len(),
+        }
+    }
+
+    /// Copies `data` into a fresh allocation.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a view of a subrange, sharing the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(begin <= end && end <= self.len, "slice out of bounds");
+        Bytes {
+            storage: self.storage.clone(),
+            start: self.start + begin,
+            len: end - begin,
+        }
+    }
+
+    /// Shortens the view to `len` bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.len {
+            self.len = len;
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.storage.as_slice()[self.start..self.start + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            storage: Storage::Shared(Arc::new(v)),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<BytesMut> for Bytes {
+    fn from(b: BytesMut) -> Self {
+        b.freeze()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`] without copying.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends `data`.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Shortens to `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.buf.truncate(len);
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.buf)
+    }
+}
+
+/// Write-side trait: big-endian integer and slice appends.
+pub trait BufMut {
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.put_slice(&vec![val; cnt]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.buf.resize(self.buf.len() + cnt, val);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_shares_allocation() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = a.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(unsafe { a.as_ptr().add(1) }, s.as_ptr());
+    }
+
+    #[test]
+    fn freeze_then_reads() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(1);
+        m.put_u16(0x0203);
+        m.put_u32(0x04050607);
+        m.put_u64(0x08090a0b0c0d0e0f);
+        m.put_slice(b"xy");
+        m.put_bytes(0xff, 2);
+        let b = m.freeze();
+        assert_eq!(
+            &b[..],
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, b'x', b'y', 0xff, 0xff]
+        );
+    }
+
+    #[test]
+    fn static_bytes_and_eq() {
+        let b = Bytes::from_static(b"hello");
+        assert_eq!(b, Bytes::copy_from_slice(b"hello"));
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn truncate_limits_view() {
+        let mut b = Bytes::from(vec![1u8, 2, 3]);
+        b.truncate(2);
+        assert_eq!(&b[..], &[1, 2]);
+        b.truncate(9);
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,581 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro with
+//! optional `#![proptest_config(...)]`, `prop_assert*`/`prop_assume`,
+//! `any::<T>()`, integer-range strategies, tuple strategies, a bounded
+//! regex-subset string strategy (`"[a-z0-9]{1,60}"` style), and
+//! `proptest::collection::vec`.
+//!
+//! Unlike real proptest there is no shrinking: a failing case panics with
+//! the assertion message and the case number. Generation is deterministic —
+//! a fixed seed per test function — so failures reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic source of randomness handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Fixed-seed generator; failures reproduce across runs.
+    pub fn deterministic() -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(0x70726f70_74657374), // "proptest"
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure; the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; another case is drawn.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// Runs `cases` cases.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property function through `cfg.cases` passing cases.
+///
+/// # Panics
+///
+/// Panics on the first failing case, or when `prop_assume!` rejects an
+/// excessive fraction of draws.
+pub fn run_cases<F>(cfg: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::deterministic();
+    let mut passed = 0usize;
+    let mut rejected = 0usize;
+    while passed < cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= cfg.cases.saturating_mul(64).max(1024),
+                    "prop_assume! rejected too many cases ({rejected}) — \
+                     the assumption is unsatisfiable in practice"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest: case {} failed: {msg}", passed + 1);
+            }
+        }
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// --- integer / primitive ranges -------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- any::<T>() ------------------------------------------------------------
+
+/// Types with a canonical full-domain generator.
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// Strategy adapter for [`Arbitrary`] types (what [`any`] returns).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// --- tuples of strategies ---------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// --- regex-subset string strategy -------------------------------------------
+
+/// One parsed pattern atom plus its repetition bounds.
+struct Atom {
+    /// Candidate characters (a class), or a single literal.
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the regex subset used in this workspace's property tests:
+/// literal characters, character classes `[a-z0-9_-]` (ranges and literals,
+/// trailing `-` literal), and quantifiers `{n}`, `{m,n}`, `?`, `+`, `*`
+/// (`+`/`*` are bounded at 32 repetitions).
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("proptest: unclosed `[` in pattern {pattern:?}"))
+                    + i;
+                let body = &chars[i + 1..close];
+                i = close + 1;
+                let mut set = Vec::new();
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        let (lo, hi) = (body[j], body[j + 2]);
+                        assert!(lo <= hi, "proptest: bad class range in {pattern:?}");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(body[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "proptest: empty class in {pattern:?}");
+                set
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "proptest: dangling `\\` in {pattern:?}");
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Quantifier, if any.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("proptest: unclosed `{{` in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 32)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 32)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "proptest: bad quantifier in {pattern:?}");
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..count {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Inclusive size bounds for generated collections.
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive.
+        max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with sizes drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: each element from `elem`, length from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest!` call sites import.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property-test functions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let cfg = $cfg;
+            $crate::run_cases(&cfg, |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                outcome
+            });
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq failed ({}): left {:?}, right {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne failed ({}): both {:?}",
+                format!($($fmt)+), l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (draws a fresh one) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-zA-Z0-9:/._-]{1,60}", &mut rng);
+            assert!((1..=60).contains(&s.len()), "len {}", s.len());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || ":/._-".contains(c)));
+            let t = Strategy::generate(&"[a-z ]{0,5}", &mut rng);
+            assert!(t.len() <= 5);
+            let u = Strategy::generate(&"ab[0-9]?c+", &mut rng);
+            assert!(u.starts_with("ab"));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(any::<u8>(), 0..7), &mut rng);
+            assert!(v.len() < 7);
+            let w = Strategy::generate(&crate::collection::vec(0u64..10, 3..4), &mut rng);
+            assert_eq!(w.len(), 3);
+            assert!(w.iter().all(|&x| x < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        fn macro_end_to_end(
+            a in any::<u16>(),
+            pair in (0u64..50, any::<bool>()),
+            s in "[a-c]{2,4}",
+            data in crate::collection::vec(any::<u8>(), 0..16),
+        ) {
+            prop_assume!(a != 1234);
+            prop_assert!(pair.0 < 50);
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "bad len {}", s.len());
+            prop_assert_ne!(a as u64 + 1, 0);
+            prop_assert!(data.len() < 16);
+        }
+
+        fn second_fn_in_block(x in 0usize..9) {
+            prop_assert!(x < 9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_case_panics() {
+        crate::run_cases(&ProptestConfig::with_cases(4), |rng| {
+            let x = Strategy::generate(&(0u8..2), rng);
+            prop_assert!(x > 200);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn arrays_and_usize() {
+        let mut rng = TestRng::deterministic();
+        let arr: [u8; 12] = crate::Arbitrary::arbitrary(&mut rng);
+        assert_eq!(arr.len(), 12);
+        let _: usize = crate::Arbitrary::arbitrary(&mut rng);
+    }
+}

@@ -1,0 +1,425 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides a
+//! value-tree serialization framework with the same surface the workspace
+//! uses: `Serialize`/`Deserialize` traits, `serde::de::DeserializeOwned`,
+//! and re-exported derive macros. Instead of serde's visitor architecture,
+//! types convert to/from an intermediate [`Value`] tree; `serde_json` then
+//! renders/parses that tree. Representation choices (field-order objects,
+//! transparent newtypes, externally tagged enums) match serde's defaults so
+//! the JSON on the wire looks the same.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Intermediate representation: the superset of shapes JSON can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Signed integers (serialized exactly).
+    Int(i64),
+    /// Unsigned integers above `i64::MAX`, and all `u64` sources.
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Key/value pairs in insertion order (field order for structs).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to the intermediate representation.
+    fn to_value(&self) -> Value;
+}
+
+/// A type reconstructible from a [`Value`] tree.
+///
+/// All deserialization here is owned, so [`de::DeserializeOwned`] is a
+/// re-export of this same trait.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the intermediate representation.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field is absent. `Option<T>` overrides this to
+    /// produce `None`; everything else errors.
+    fn from_missing() -> Result<Self, Error> {
+        Err(Error::custom("missing field"))
+    }
+}
+
+pub mod de {
+    //! Deserialization namespace, mirroring `serde::de`.
+
+    /// All deserialization in this stand-in is owned.
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code
+// ---------------------------------------------------------------------------
+
+/// Linear field lookup; struct widths here are small enough that a map
+/// would cost more than it saves.
+pub fn find_field<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Resolves an absent struct field: `Option` fields default, others error.
+pub fn missing_field<T: Deserialize>(name: &str) -> Result<T, Error> {
+    T::from_missing().map_err(|_| Error::custom(format!("missing field `{name}`")))
+}
+
+/// Asserts `value` is an object, with a type name in the error.
+pub fn expect_object<'a>(value: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+    value
+        .as_object()
+        .ok_or_else(|| Error::custom(format!("expected object for {ty}")))
+}
+
+/// Asserts `value` is an array, with a type name in the error.
+pub fn expect_array<'a>(value: &'a Value, ty: &str) -> Result<&'a [Value], Error> {
+    value
+        .as_array()
+        .ok_or_else(|| Error::custom(format!("expected array for {ty}")))
+}
+
+/// Indexes into a deserialized tuple's array form.
+pub fn array_elem<'a>(arr: &'a [Value], idx: usize, ty: &str) -> Result<&'a Value, Error> {
+    arr.get(idx)
+        .ok_or_else(|| Error::custom(format!("{ty}: tuple too short (missing element {idx})")))
+}
+
+// ---------------------------------------------------------------------------
+// Impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: u64 = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) => u64::try_from(*i)
+                        .map_err(|_| Error::custom("negative value for unsigned integer"))?,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Float(f) => Ok(*f as $t),
+                    // JSON writes e.g. 1.0 as "1", which parses as an int.
+                    Value::Int(i) => Ok(*i as $t),
+                    Value::UInt(u) => Ok(*u as $t),
+                    _ => Err(Error::custom(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| Error::custom("expected array for tuple"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {expected}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for std::net::Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for std::net::Ipv4Addr {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected IPv4 string"))?
+            .parse()
+            .map_err(|e| Error::custom(format!("bad IPv4 address: {e}")))
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let obj = expect_object(value, "Duration")?;
+        let secs = find_field(obj, "secs")
+            .map(u64::from_value)
+            .transpose()?
+            .ok_or_else(|| Error::custom("Duration missing `secs`"))?;
+        let nanos = find_field(obj, "nanos")
+            .map(u32::from_value)
+            .transpose()?
+            .ok_or_else(|| Error::custom("Duration missing `nanos`"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_defaults_to_none() {
+        assert_eq!(missing_field::<Option<u32>>("x").unwrap(), None);
+        assert!(missing_field::<u32>("x").is_err());
+    }
+
+    #[test]
+    fn ints_cross_decode() {
+        assert_eq!(u8::from_value(&Value::Int(200)).unwrap(), 200);
+        assert!(u8::from_value(&Value::Int(-1)).is_err());
+        assert!(u8::from_value(&Value::UInt(256)).is_err());
+        assert_eq!(i64::from_value(&Value::UInt(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn array_exact_length() {
+        let v = Value::Array(vec![Value::UInt(1), Value::UInt(2)]);
+        assert_eq!(<[u8; 2]>::from_value(&v).unwrap(), [1, 2]);
+        assert!(<[u8; 3]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn ipv4_roundtrip() {
+        let ip: std::net::Ipv4Addr = "10.1.2.3".parse().unwrap();
+        let v = ip.to_value();
+        assert_eq!(std::net::Ipv4Addr::from_value(&v).unwrap(), ip);
+    }
+}
