@@ -213,10 +213,119 @@ fn bench_send_path(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_route(c: &mut Criterion) {
+    use pdn_simnet::{RouteTable, SimRng};
+    use std::collections::HashMap;
+    use std::net::Ipv4Addr;
+
+    // A large simulated world's worth of public routes.
+    let mut rng = SimRng::seed(13);
+    let ips: Vec<Ipv4Addr> = (0..10_000u32)
+        .map(|_| Ipv4Addr::from(rng.next_u64() as u32))
+        .collect();
+    let mut table = RouteTable::new();
+    let mut map = HashMap::new();
+    for (i, &ip) in ips.iter().enumerate() {
+        table.insert(ip, i);
+        map.insert(ip, i);
+    }
+    // Probe with the 90%-hit mix of the datagram path.
+    let probes: Vec<Ipv4Addr> = (0..1_024)
+        .map(|_| {
+            if rng.chance(0.9) {
+                ips[rng.range(0..ips.len() as u64) as usize]
+            } else {
+                Ipv4Addr::from(rng.next_u64() as u32)
+            }
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("route_lookup");
+    g.throughput(Throughput::Elements(probes.len() as u64));
+    g.bench_function("sorted_vec_10k", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter_map(|&ip| table.get(black_box(ip)))
+                .count()
+        })
+    });
+    g.bench_function("hashmap_10k", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter_map(|ip| map.get(black_box(ip)))
+                .count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    use pdn_simnet::{Event, EventQueue, HeapMapQueue, NodeId, SimRng, SimTime};
+    use std::time::Duration;
+
+    // Steady-state churn: pop one, push one, 4096 in flight — the event
+    // loop's shape once a swarm is warmed up.
+    const OPS: u64 = 10_000;
+    let delays: Vec<u64> = {
+        let mut rng = SimRng::seed(21);
+        (0..OPS)
+            .map(|_| {
+                if rng.chance(0.95) {
+                    rng.range(0..50_000_000)
+                } else {
+                    rng.range(0..5_000_000_000)
+                }
+            })
+            .collect()
+    };
+    let timer = |token: u64| Event::Timer {
+        node: NodeId(0),
+        token,
+    };
+
+    let mut g = c.benchmark_group("event_queue_churn");
+    g.throughput(Throughput::Elements(OPS));
+    g.bench_function("calendar_queue", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..4_096u64 {
+                q.push(
+                    SimTime::from_nanos(delays[i as usize % delays.len()]),
+                    timer(i),
+                );
+            }
+            for &d in &delays {
+                let (now, _) = q.pop().expect("primed");
+                q.push(now + Duration::from_nanos(d), timer(0));
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    g.bench_function("heap_plus_hashmap", |b| {
+        b.iter(|| {
+            let mut q = HeapMapQueue::new();
+            for i in 0..4_096u64 {
+                q.push(
+                    SimTime::from_nanos(delays[i as usize % delays.len()]),
+                    timer(i),
+                );
+            }
+            for &d in &delays {
+                let (now, _) = q.pop().expect("primed");
+                q.push(now + Duration::from_nanos(d), timer(0));
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_crypto, bench_stun, bench_dtls, bench_media, bench_scan,
-        bench_matcher, bench_send_path
+        bench_matcher, bench_send_path, bench_route, bench_queue
 }
 criterion_main!(benches);

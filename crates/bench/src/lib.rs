@@ -19,8 +19,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pdn_core::ip_leak::{huya_population, rt_news_population, run_wild};
-use pdn_core::riskmatrix::{build_matrix, ProviderKeyCounts, RiskMatrix};
+pub mod ablations;
+
+use pdn_core::ip_leak::{huya_population, rt_news_population, run_wild_trials, WildTrial};
+use pdn_core::riskmatrix::{build_matrix_pooled, ProviderKeyCounts, RiskMatrix};
+use pdn_core::WorldPool;
 use pdn_detector::{corpus, tables, DetectionReport};
 use pdn_provider::{MatchingPolicy, ProviderProfile};
 use pdn_simnet::SimRng;
@@ -45,6 +48,12 @@ pub fn freeriding_study(seed: u64) -> pdn_core::KeyFieldStudy {
 /// Builds Table V for the three public providers, with field-study key
 /// counts.
 pub fn table5(seed: u64) -> RiskMatrix {
+    table5_pooled(seed, &WorldPool::auto())
+}
+
+/// [`table5`] with an explicit [`WorldPool`]: each provider×test cell
+/// runs as an independent world, byte-identical at any worker count.
+pub fn table5_pooled(seed: u64, pool: &WorldPool) -> RiskMatrix {
     let study = freeriding_study(seed);
     let profiles = [
         ProviderProfile::peer5(),
@@ -70,7 +79,7 @@ pub fn table5(seed: u64) -> RiskMatrix {
         }),
         _ => None,
     };
-    build_matrix(&profiles, counts, seed)
+    build_matrix_pooled(&profiles, counts, seed, pool)
 }
 
 /// Runs the Table VI control groups (`secs` simulated seconds per group).
@@ -88,21 +97,46 @@ pub fn figure5(max_neighbors: usize, secs: u64, seed: u64) -> Vec<pdn_core::Band
     pdn_core::squatting::bandwidth_scaling(&ProviderProfile::peer5(), max_neighbors, secs, seed)
 }
 
+/// The two measured channels as a trial pair under one matching policy,
+/// with the historical seed assignment (`seed` / `seed + 1`).
+fn channel_pair(matching: MatchingPolicy, days: f64, seed: u64) -> [WildTrial; 2] {
+    [
+        WildTrial {
+            spec: huya_population(),
+            matching,
+            observer_country: "US".into(),
+            days,
+            seed,
+        },
+        WildTrial {
+            spec: rt_news_population(),
+            matching,
+            observer_country: "US".into(),
+            days,
+            seed: seed + 1,
+        },
+    ]
+}
+
 /// Runs the §IV-D wild harvest for both measured channels.
 pub fn ip_leak_wild(
     days: f64,
     seed: u64,
 ) -> (pdn_core::IpLeakWildResult, pdn_core::IpLeakWildResult) {
-    (
-        run_wild(&huya_population(), MatchingPolicy::Global, "US", days, seed),
-        run_wild(
-            &rt_news_population(),
-            MatchingPolicy::Global,
-            "US",
-            days,
-            seed + 1,
-        ),
-    )
+    ip_leak_wild_pooled(days, seed, &WorldPool::auto())
+}
+
+/// [`ip_leak_wild`] with an explicit [`WorldPool`]: the two channel
+/// harvests are independent worlds.
+pub fn ip_leak_wild_pooled(
+    days: f64,
+    seed: u64,
+    pool: &WorldPool,
+) -> (pdn_core::IpLeakWildResult, pdn_core::IpLeakWildResult) {
+    let mut r = run_wild_trials(&channel_pair(MatchingPolicy::Global, days, seed), pool);
+    let rt = r.pop().expect("two trials");
+    let huya = r.pop().expect("two trials");
+    (huya, rt)
 }
 
 /// Runs the §V-C same-country mitigation pair.
@@ -110,22 +144,19 @@ pub fn privacy_mitigation(
     days: f64,
     seed: u64,
 ) -> (pdn_core::IpLeakWildResult, pdn_core::IpLeakWildResult) {
-    (
-        run_wild(
-            &huya_population(),
-            MatchingPolicy::SameCountry,
-            "US",
-            days,
-            seed,
-        ),
-        run_wild(
-            &rt_news_population(),
-            MatchingPolicy::SameCountry,
-            "US",
-            days,
-            seed + 1,
-        ),
-    )
+    privacy_mitigation_pooled(days, seed, &WorldPool::auto())
+}
+
+/// [`privacy_mitigation`] with an explicit [`WorldPool`].
+pub fn privacy_mitigation_pooled(
+    days: f64,
+    seed: u64,
+    pool: &WorldPool,
+) -> (pdn_core::IpLeakWildResult, pdn_core::IpLeakWildResult) {
+    let mut r = run_wild_trials(&channel_pair(MatchingPolicy::SameCountry, days, seed), pool);
+    let rt = r.pop().expect("two trials");
+    let huya = r.pop().expect("two trials");
+    (huya, rt)
 }
 
 /// Runs the §V-A token-defense evaluation.

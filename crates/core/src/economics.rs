@@ -15,6 +15,8 @@ use pdn_provider::world::{PdnWorld, ViewerSpec};
 use pdn_provider::{AgentConfig, CustomerAccount, ProviderProfile};
 use pdn_simnet::SimTime;
 
+use crate::worldpool::WorldPool;
+
 const VIDEO: &str = "econ-video";
 const SEGMENTS: u64 = 20;
 
@@ -62,12 +64,33 @@ fn run_swarm(profile: &ProviderProfile, viewers: usize, pdn: bool, seed: u64) ->
 
 /// Measures the offload curve for swarm sizes in `sizes`.
 pub fn offload_curve(profile: &ProviderProfile, sizes: &[usize], seed: u64) -> Vec<OffloadPoint> {
+    offload_curve_pooled(profile, sizes, seed, &WorldPool::auto())
+}
+
+/// [`offload_curve`] with an explicit [`WorldPool`]: each (size, pdn/control)
+/// swarm is an independent world, fanned out and merged in index order so
+/// the curve is identical to the serial sweep at any worker count.
+pub fn offload_curve_pooled(
+    profile: &ProviderProfile,
+    sizes: &[usize],
+    seed: u64,
+    pool: &WorldPool,
+) -> Vec<OffloadPoint> {
+    let egress = pool.run(sizes.len() * 2, |j| {
+        let n = sizes[j / 2];
+        if j % 2 == 0 {
+            run_swarm(profile, n, true, seed + n as u64)
+        } else {
+            run_swarm(profile, n, false, seed + 1000 + n as u64)
+        }
+    });
     sizes
         .iter()
-        .map(|&n| OffloadPoint {
+        .zip(egress.chunks_exact(2))
+        .map(|(&n, pair)| OffloadPoint {
             viewers: n,
-            cdn_egress_pdn: run_swarm(profile, n, true, seed + n as u64),
-            cdn_egress_control: run_swarm(profile, n, false, seed + 1000 + n as u64),
+            cdn_egress_pdn: pair[0],
+            cdn_egress_control: pair[1],
         })
         .collect()
 }
@@ -90,8 +113,20 @@ pub fn cost_amplification(
     max_peers: usize,
     seed: u64,
 ) -> Vec<AmplificationPoint> {
-    let mut points = Vec::new();
-    for n in 2..=max_peers {
+    cost_amplification_pooled(profile, max_peers, seed, &WorldPool::auto())
+}
+
+/// [`cost_amplification`] with an explicit [`WorldPool`]: one world per
+/// fleet size, merged in index order.
+pub fn cost_amplification_pooled(
+    profile: &ProviderProfile,
+    max_peers: usize,
+    seed: u64,
+    pool: &WorldPool,
+) -> Vec<AmplificationPoint> {
+    let sizes: Vec<usize> = (2..=max_peers).collect();
+    pool.run(sizes.len(), |j| {
+        let n = sizes[j];
         let mut world = PdnWorld::new(profile.clone(), seed + n as u64);
         world
             .server_mut()
@@ -112,13 +147,12 @@ pub fn cost_amplification(
         }
         world.run_until(SimTime::from_secs(4 * n as u64 + 140));
         let meter = world.server().meter("victim");
-        points.push(AmplificationPoint {
+        AmplificationPoint {
             attacker_peers: n,
             victim_metered_bytes: meter.p2p_bytes,
             victim_bill_usd: meter.cost_usd(profile.billing),
-        });
-    }
-    points
+        }
+    })
 }
 
 #[cfg(test)]

@@ -25,6 +25,8 @@ use pdn_provider::{
 use pdn_simnet::{Addr, CountryMix, GeoInfo, GeoIpService, IpClass, SimRng, SimTime};
 use pdn_webrtc::{Candidate, CandidateKind, SessionDescription};
 
+use crate::worldpool::WorldPool;
+
 /// The basic two-peer leak test: do peers learn each other's IPs?
 pub fn ip_leak_basic(profile: &ProviderProfile, seed: u64) -> bool {
     let mut world = PdnWorld::new(profile.clone(), seed);
@@ -310,6 +312,37 @@ pub fn run_wild(
     }
     result.cities = cities.len();
     result
+}
+
+/// One wild-harvest trial: a population observed under a matching policy.
+///
+/// Trials are independent simulated worlds, so a batch of them is the
+/// natural unit for [`run_wild_trials`] to fan out across a
+/// [`WorldPool`].
+#[derive(Debug, Clone)]
+pub struct WildTrial {
+    /// Viewer population to churn through the channel.
+    pub spec: PopulationSpec,
+    /// Peer-matching policy the signaling server enforces.
+    pub matching: MatchingPolicy,
+    /// Country the controlled observer peer sits in.
+    pub observer_country: String,
+    /// Harvest duration in days.
+    pub days: f64,
+    /// World seed.
+    pub seed: u64,
+}
+
+/// Runs a batch of wild-harvest trials across a [`WorldPool`].
+///
+/// Results come back in trial order and are byte-identical to calling
+/// [`run_wild`] serially on each trial, at any worker count — each trial's
+/// randomness is fully determined by its own `seed`.
+pub fn run_wild_trials(trials: &[WildTrial], pool: &WorldPool) -> Vec<IpLeakWildResult> {
+    pool.run(trials.len(), |i| {
+        let t = &trials[i];
+        run_wild(&t.spec, t.matching, &t.observer_country, t.days, t.seed)
+    })
 }
 
 /// Builds a viewer session description: srflx (public) candidate plus,

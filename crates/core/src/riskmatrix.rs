@@ -8,10 +8,11 @@
 use pdn_provider::ProviderProfile;
 use pdn_simnet::SimRng;
 
-use crate::freeriding::{self, AuthTestOutcome};
+use crate::freeriding::{self, AuthTestOutcome, FreeRidingResult};
 use crate::ip_leak;
 use crate::pollution::{self, PollutionMode};
 use crate::squatting;
+use crate::worldpool::WorldPool;
 
 /// A Table V cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,64 +115,94 @@ pub fn build_matrix(
     key_counts: impl Fn(&str) -> Option<ProviderKeyCounts>,
     seed: u64,
 ) -> RiskMatrix {
-    let mut columns = Vec::new();
+    build_matrix_pooled(profiles, key_counts, seed, &WorldPool::auto())
+}
+
+/// One evaluated matrix cell, before Cell classification.
+enum CellRun {
+    Auth(FreeRidingResult),
+    Flag(bool),
+}
+
+/// Number of independent test worlds per provider column.
+const TESTS_PER_PROVIDER: usize = 5;
+
+/// [`build_matrix`] with an explicit [`WorldPool`].
+///
+/// Every provider×test cell is an independent simulated world; the pool
+/// runs them concurrently and merges in index order, so the matrix is
+/// byte-identical to the serial build at any worker count. Column seeds
+/// are drawn serially from the base RNG *before* the fan-out, preserving
+/// the exact per-column seed sequence of the historical serial code.
+pub fn build_matrix_pooled(
+    profiles: &[ProviderProfile],
+    key_counts: impl Fn(&str) -> Option<ProviderKeyCounts>,
+    seed: u64,
+    pool: &WorldPool,
+) -> RiskMatrix {
     let mut rng = SimRng::seed(seed);
-    for profile in profiles {
-        let col_seed = rng.next_u64() >> 8;
-        let fr = freeriding::evaluate_provider(profile, col_seed);
-        let cross_domain = match key_counts(&profile.name) {
-            Some(k) => Cell::Keys(k.cross_domain_vulnerable, k.valid),
-            None => match fr.cross_domain {
+    let col_seeds: Vec<u64> = profiles.iter().map(|_| rng.next_u64() >> 8).collect();
+
+    let cells = pool.run(profiles.len() * TESTS_PER_PROVIDER, |j| {
+        let profile = &profiles[j / TESTS_PER_PROVIDER];
+        let col_seed = col_seeds[j / TESTS_PER_PROVIDER];
+        match j % TESTS_PER_PROVIDER {
+            0 => CellRun::Auth(freeriding::evaluate_provider(profile, col_seed)),
+            1 => CellRun::Flag(
+                pollution::run_pollution(profile, PollutionMode::Direct, 2, col_seed + 10)
+                    .attack_succeeded(),
+            ),
+            2 => CellRun::Flag(
+                pollution::run_pollution(
+                    profile,
+                    PollutionMode::FromSeq(profile.slow_start_segments),
+                    2,
+                    col_seed + 20,
+                )
+                .attack_succeeded(),
+            ),
+            3 => CellRun::Flag(ip_leak::ip_leak_basic(profile, col_seed + 30)),
+            _ => CellRun::Flag(
+                squatting::resource_consumption(profile, 60, col_seed + 40).cpu_overhead() > 0.02,
+            ),
+        }
+    });
+
+    let flag_cell = |run: &CellRun| match run {
+        CellRun::Flag(true) => Cell::Vulnerable,
+        CellRun::Flag(false) => Cell::Protected,
+        CellRun::Auth(_) => unreachable!("flag cell slot holds an auth result"),
+    };
+    let columns = profiles
+        .iter()
+        .zip(cells.chunks_exact(TESTS_PER_PROVIDER))
+        .map(|(profile, runs)| {
+            let fr = match &runs[0] {
+                CellRun::Auth(fr) => fr,
+                CellRun::Flag(_) => unreachable!("auth cell slot holds a flag"),
+            };
+            let cross_domain = match key_counts(&profile.name) {
+                Some(k) => Cell::Keys(k.cross_domain_vulnerable, k.valid),
+                None => match fr.cross_domain {
+                    AuthTestOutcome::Vulnerable => Cell::Vulnerable,
+                    AuthTestOutcome::Protected => Cell::Protected,
+                },
+            };
+            let domain_spoofing = match fr.domain_spoofing {
                 AuthTestOutcome::Vulnerable => Cell::Vulnerable,
                 AuthTestOutcome::Protected => Cell::Protected,
-            },
-        };
-        let domain_spoofing = match fr.domain_spoofing {
-            AuthTestOutcome::Vulnerable => Cell::Vulnerable,
-            AuthTestOutcome::Protected => Cell::Protected,
-        };
-
-        let direct = pollution::run_pollution(profile, PollutionMode::Direct, 2, col_seed + 10);
-        let direct_pollution = if direct.attack_succeeded() {
-            Cell::Vulnerable
-        } else {
-            Cell::Protected
-        };
-        let seg = pollution::run_pollution(
-            profile,
-            PollutionMode::FromSeq(profile.slow_start_segments),
-            2,
-            col_seed + 20,
-        );
-        let segment_pollution = if seg.attack_succeeded() {
-            Cell::Vulnerable
-        } else {
-            Cell::Protected
-        };
-
-        let ip_leak = if ip_leak::ip_leak_basic(profile, col_seed + 30) {
-            Cell::Vulnerable
-        } else {
-            Cell::Protected
-        };
-
-        let fig = squatting::resource_consumption(profile, 60, col_seed + 40);
-        let resource_squatting = if fig.cpu_overhead() > 0.02 {
-            Cell::Vulnerable
-        } else {
-            Cell::Protected
-        };
-
-        columns.push(ProviderColumn {
-            provider: profile.name.clone(),
-            cross_domain,
-            domain_spoofing,
-            direct_pollution,
-            segment_pollution,
-            ip_leak,
-            resource_squatting,
-        });
-    }
+            };
+            ProviderColumn {
+                provider: profile.name.clone(),
+                cross_domain,
+                domain_spoofing,
+                direct_pollution: flag_cell(&runs[1]),
+                segment_pollution: flag_cell(&runs[2]),
+                ip_leak: flag_cell(&runs[3]),
+                resource_squatting: flag_cell(&runs[4]),
+            }
+        })
+        .collect();
     RiskMatrix { columns }
 }
 

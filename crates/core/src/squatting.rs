@@ -19,6 +19,8 @@ use pdn_provider::world::{PdnWorld, ViewerSpec};
 use pdn_provider::{AgentConfig, CustomerAccount, ProviderProfile};
 use pdn_simnet::{GeoInfo, LinkSpec, NodeId, ResourceSample, ResourceSummary, SimTime};
 
+use crate::worldpool::WorldPool;
+
 const CHANNEL: &str = "live-channel";
 
 fn live_world(profile: &ProviderProfile, seed: u64) -> PdnWorld {
@@ -142,8 +144,20 @@ pub fn bandwidth_scaling(
     secs: u64,
     seed: u64,
 ) -> Vec<BandwidthPoint> {
-    let mut points = Vec::new();
-    for n in 1..=max_neighbors {
+    bandwidth_scaling_pooled(profile, max_neighbors, secs, seed, &WorldPool::auto())
+}
+
+/// [`bandwidth_scaling`] with an explicit [`WorldPool`]: one world per
+/// neighbor count, merged in index order.
+pub fn bandwidth_scaling_pooled(
+    profile: &ProviderProfile,
+    max_neighbors: usize,
+    secs: u64,
+    seed: u64,
+    pool: &WorldPool,
+) -> Vec<BandwidthPoint> {
+    pool.run(max_neighbors, |j| {
+        let n = j + 1;
         let mut world = live_world(profile, seed + n as u64);
         world.server_mut().set_max_neighbors(8);
         let seeder_config = {
@@ -179,15 +193,14 @@ pub fn bandwidth_scaling(
             .map(|l| world.agent(*l).player().p2p_offload_ratio())
             .sum::<f64>()
             / n as f64;
-        points.push(BandwidthPoint {
+        BandwidthPoint {
             neighbors: n,
             seeder_tx: tx,
             seeder_rx: rx,
             leech_stalls: stalls,
             leech_offload: offload,
-        });
-    }
-    points
+        }
+    })
 }
 
 /// The §IV-D cellular-configuration audit over a detector corpus: apps

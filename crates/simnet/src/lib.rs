@@ -41,21 +41,24 @@ mod addr;
 mod geo;
 mod nat;
 mod net;
+mod queue;
 mod resources;
 mod rng;
+mod route;
 mod time;
 
 pub use addr::{Addr, IpClass};
 pub use geo::{continent_of, Continent, CountryCode, CountryMix, GeoInfo, GeoIpService};
 pub use nat::{Nat, NatKind};
 pub use net::{
-    CapturedFrame, Datagram, DropReason, Event, LinkSpec, NatId, Network, NodeId, SendOutcome,
-    TapDirection, TapFn, TapVerdict, Transport,
+    CaptureFilter, CapturedFrame, Datagram, DropReason, Event, LinkSpec, NatId, Network, NodeId,
+    SendOutcome, TapDirection, TapFn, TapVerdict, TimerId, Transport, DEFAULT_CAPTURE_LIMIT,
 };
+pub use queue::{EventId, EventQueue, EventQueueStats, HeapMapQueue};
 pub use resources::{series_to_csv, ResourceModel, ResourceSample, ResourceSummary};
 pub use rng::SimRng;
+pub use route::RouteTable;
 pub use time::SimTime;
-
 #[cfg(test)]
 mod prop_tests {
     use super::*;

@@ -16,8 +16,7 @@
 //! Protocol logic lives in higher layers (`pdn-webrtc`, `pdn-provider`);
 //! this module only transports bytes.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
@@ -26,8 +25,10 @@ use bytes::Bytes;
 use crate::addr::Addr;
 use crate::geo::{continent_of, GeoInfo, GeoIpService};
 use crate::nat::{Nat, NatKind};
+use crate::queue::{EventId, EventQueue, EventQueueStats};
 use crate::resources::ResourceModel;
 use crate::rng::SimRng;
+use crate::route::RouteTable;
 use crate::time::SimTime;
 
 /// Identifier of a simulated host.
@@ -179,6 +180,18 @@ impl TapVerdict {
 /// A middlebox function observing one node's traffic.
 pub type TapFn = Box<dyn FnMut(TapDirection, &Datagram) -> TapVerdict>;
 
+/// A capture-time filter: return `true` to record the frame.
+///
+/// Runs *before* the frame is cloned into the capture ring, so attack
+/// tests that only care about (say) UDP media frames stop paying clone
+/// and memory costs for the traffic they would post-filter away.
+pub type CaptureFilter = Box<dyn FnMut(SimTime, &Datagram) -> bool>;
+
+/// Handle returned by [`Network::set_timer`], usable with
+/// [`Network::cancel_timer`]. Stale after the timer fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerId(EventId);
+
 /// A frame recorded by the capture facility (one `tcpdump` line).
 #[derive(Debug, Clone)]
 pub struct CapturedFrame {
@@ -259,21 +272,33 @@ struct NodeInfo {
     alive: bool,
 }
 
-#[derive(PartialEq, Eq)]
-struct Queued {
-    at: SimTime,
-    seq: u64,
+/// Default cap on the capture ring (frames); see
+/// [`Network::set_capture_limit`].
+pub const DEFAULT_CAPTURE_LIMIT: usize = 1 << 20;
+
+/// The capture facility: a preallocated frame buffer with a hard capacity
+/// and an optional capture-time filter. Like a pcap kernel ring, a full
+/// buffer drops new frames (and counts them) rather than growing without
+/// bound.
+struct CaptureRing {
+    buf: Vec<CapturedFrame>,
+    limit: usize,
+    enabled: bool,
+    filter: Option<CaptureFilter>,
+    filtered: u64,
+    dropped: u64,
 }
 
-impl Ord for Queued {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl PartialOrd for Queued {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+impl CaptureRing {
+    fn new() -> Self {
+        CaptureRing {
+            buf: Vec::new(),
+            limit: DEFAULT_CAPTURE_LIMIT,
+            enabled: false,
+            filter: None,
+            filtered: 0,
+            dropped: 0,
+        }
     }
 }
 
@@ -286,15 +311,12 @@ pub struct Network {
     nodes: Vec<NodeInfo>,
     nats: Vec<Nat>,
     // wire IP -> owner
-    public_routes: HashMap<Ipv4Addr, Route>,
-    private_routes: HashMap<Ipv4Addr, NodeId>,
+    public_routes: RouteTable<Route>,
+    private_routes: RouteTable<NodeId>,
     next_private: u32,
-    queue: BinaryHeap<Reverse<Queued>>,
-    pending: HashMap<u64, Event>,
-    next_seq: u64,
+    queue: EventQueue,
     taps: HashMap<NodeId, TapFn>,
-    capture: Vec<CapturedFrame>,
-    capture_enabled: bool,
+    capture: CaptureRing,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -323,15 +345,12 @@ impl Network {
             geoip: GeoIpService::new(),
             nodes: Vec::new(),
             nats: Vec::new(),
-            public_routes: HashMap::new(),
-            private_routes: HashMap::new(),
+            public_routes: RouteTable::new(),
+            private_routes: RouteTable::new(),
             next_private: 1,
-            queue: BinaryHeap::new(),
-            pending: HashMap::new(),
-            next_seq: 0,
+            queue: EventQueue::new(),
             taps: HashMap::new(),
-            capture: Vec::new(),
-            capture_enabled: false,
+            capture: CaptureRing::new(),
         }
     }
 
@@ -476,25 +495,73 @@ impl Network {
         self.taps.remove(&node);
     }
 
-    /// Enables or disables frame capture.
+    /// Enables or disables frame capture. Enabling preallocates the ring
+    /// so steady-state capture starts without reallocation.
     pub fn set_capture(&mut self, enabled: bool) {
-        self.capture_enabled = enabled;
+        self.capture.enabled = enabled;
+        if enabled && self.capture.buf.capacity() == 0 {
+            self.capture.buf.reserve(self.capture.limit.min(4_096));
+        }
+    }
+
+    /// Caps the capture ring at `limit` frames. Once full, further frames
+    /// are dropped and counted in [`Network::capture_dropped`] — the
+    /// behaviour of a full pcap kernel buffer.
+    pub fn set_capture_limit(&mut self, limit: usize) {
+        self.capture.limit = limit.max(1);
+    }
+
+    /// Installs a capture-time filter: only frames for which it returns
+    /// `true` enter the ring. Filtered frames are never cloned and count
+    /// in [`Network::capture_filtered`].
+    pub fn set_capture_filter(&mut self, filter: CaptureFilter) {
+        self.capture.filter = Some(filter);
+    }
+
+    /// Removes the capture filter; every frame is recorded again.
+    pub fn clear_capture_filter(&mut self) {
+        self.capture.filter = None;
+    }
+
+    /// Frames rejected by the capture filter so far.
+    pub fn capture_filtered(&self) -> u64 {
+        self.capture.filtered
+    }
+
+    /// Frames lost to a full capture ring so far.
+    pub fn capture_dropped(&self) -> u64 {
+        self.capture.dropped
     }
 
     /// All frames captured so far.
     pub fn capture(&self) -> &[CapturedFrame] {
-        &self.capture
+        &self.capture.buf
     }
 
-    /// Clears the capture buffer.
+    /// Clears the capture buffer (capacity is kept) and resets the
+    /// filtered/dropped counters.
     pub fn clear_capture(&mut self) {
-        self.capture.clear();
+        self.capture.buf.clear();
+        self.capture.filtered = 0;
+        self.capture.dropped = 0;
     }
 
     /// Schedules `token` to fire at `node` after `delay`.
-    pub fn set_timer(&mut self, node: NodeId, delay: Duration, token: u64) {
+    pub fn set_timer(&mut self, node: NodeId, delay: Duration, token: u64) -> TimerId {
         let at = self.now + delay;
-        self.push_event(at, Event::Timer { node, token });
+        TimerId(self.queue.push(at, Event::Timer { node, token }))
+    }
+
+    /// Cancels a pending timer. The queue slot is reclaimed immediately;
+    /// returns `false` if the timer already fired or was cancelled.
+    pub fn cancel_timer(&mut self, timer: TimerId) -> bool {
+        self.queue.cancel(timer.0)
+    }
+
+    /// Occupancy counters of the event queue (live events, slab
+    /// high-water mark, tier sizes).
+    pub fn queue_stats(&self) -> EventQueueStats {
+        self.queue.stats()
     }
 
     /// Sends `payload` from `node` (source port `src_port`) to `dst`.
@@ -601,7 +668,7 @@ impl Network {
         self.nodes[node.0 as usize].res.record_tx(len);
         self.nodes[dest_node.0 as usize].res.record_rx(len);
 
-        self.push_event(
+        self.queue.push(
             deliver_at,
             Event::Packet {
                 to: dest_node,
@@ -615,14 +682,10 @@ impl Network {
     ///
     /// Returns `None` when the queue is empty.
     pub fn step(&mut self) -> Option<(SimTime, Event)> {
-        let Reverse(q) = self.queue.pop()?;
-        let ev = self
-            .pending
-            .remove(&q.seq)
-            .expect("queued event has a pending entry");
-        debug_assert!(q.at >= self.now, "time went backwards");
-        self.now = q.at;
-        Some((q.at, ev))
+        let (at, ev) = self.queue.pop()?;
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        Some((at, ev))
     }
 
     /// Pops events until the queue is empty or the next event is after
@@ -632,14 +695,15 @@ impl Network {
     /// application must react to each event (most protocol code does).
     pub fn drain_until(&mut self, deadline: SimTime) -> Vec<(SimTime, Event)> {
         let mut out = Vec::new();
-        while let Some(Reverse(q)) = self.queue.peek() {
-            if q.at > deadline {
+        while let Some(at) = self.queue.next_at() {
+            if at > deadline {
                 break;
             }
             out.push(self.step().expect("peeked event exists"));
         }
         if self.now < deadline {
             self.now = deadline;
+            self.queue.advance_time(deadline);
         }
         out
     }
@@ -652,6 +716,7 @@ impl Network {
     pub fn advance_to(&mut self, at: SimTime) {
         assert!(at >= self.now, "cannot advance into the past");
         self.now = at;
+        self.queue.advance_time(at);
     }
 
     /// Whether any events remain queued.
@@ -661,7 +726,7 @@ impl Network {
 
     /// Time of the next queued event, if any (without popping it).
     pub fn next_event_at(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(q)| q.at)
+        self.queue.next_at()
     }
 
     fn node(&self, id: NodeId) -> &NodeInfo {
@@ -696,7 +761,7 @@ impl Network {
     }
 
     fn route(&mut self, dgram: &Datagram, src_node: NodeId) -> Result<(NodeId, Addr), DropReason> {
-        match self.public_routes.get(&dgram.dst.ip).copied() {
+        match self.public_routes.get(dgram.dst.ip).copied() {
             Some(Route::Host(id)) => Ok((id, dgram.dst)),
             Some(Route::Nat(idx)) => {
                 let internal = self.nats[idx]
@@ -704,14 +769,14 @@ impl Network {
                     .ok_or(DropReason::NatFiltered)?;
                 let node = *self
                     .private_routes
-                    .get(&internal.ip)
+                    .get(internal.ip)
                     .ok_or(DropReason::Unroutable)?;
                 Ok((node, internal))
             }
             None => {
                 // Private addresses are only reachable from hosts in the
                 // same NAT realm; from anywhere else they are bogons.
-                match self.private_routes.get(&dgram.dst.ip) {
+                match self.private_routes.get(dgram.dst.ip) {
                     Some(&node)
                         if self.node(src_node).nat.is_some()
                             && self.node(src_node).nat == self.node(node).nat =>
@@ -735,22 +800,26 @@ impl Network {
     }
 
     fn capture_frame(&mut self, dgram: &Datagram) {
-        if self.capture_enabled {
-            self.capture.push(CapturedFrame {
-                at: self.now,
-                src: dgram.src,
-                dst: dgram.dst,
-                transport: dgram.transport,
-                payload: dgram.payload.clone(),
-            });
+        if !self.capture.enabled {
+            return;
         }
-    }
-
-    fn push_event(&mut self, at: SimTime, ev: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.pending.insert(seq, ev);
-        self.queue.push(Reverse(Queued { at, seq }));
+        if let Some(filter) = &mut self.capture.filter {
+            if !filter(self.now, dgram) {
+                self.capture.filtered += 1;
+                return;
+            }
+        }
+        if self.capture.buf.len() >= self.capture.limit {
+            self.capture.dropped += 1;
+            return;
+        }
+        self.capture.buf.push(CapturedFrame {
+            at: self.now,
+            src: dgram.src,
+            dst: dgram.dst,
+            transport: dgram.transport,
+            payload: dgram.payload.clone(),
+        });
     }
 }
 
@@ -1050,6 +1119,58 @@ mod tests {
         assert_eq!(evs.len(), 1);
         assert_eq!(net.now(), SimTime::from_secs(2));
         assert!(net.has_pending_events());
+    }
+
+    #[test]
+    fn capture_filter_rejects_at_capture_time() {
+        let mut net = Network::new(1);
+        let (a, b) = two_public_hosts(&mut net);
+        net.set_capture(true);
+        // Keep only UDP frames; TCP signaling never enters the ring.
+        net.set_capture_filter(Box::new(|_, d| d.transport == Transport::Udp));
+        let dst = Addr::from_ip(net.ip(b), 80);
+        net.send(a, 1, dst, Transport::Tcp, Bytes::from_static(b"http"));
+        net.send(a, 1, dst, Transport::Udp, Bytes::from_static(b"media"));
+        assert_eq!(net.capture().len(), 1);
+        assert_eq!(net.capture()[0].transport, Transport::Udp);
+        assert_eq!(net.capture_filtered(), 1);
+        net.clear_capture_filter();
+        net.send(a, 1, dst, Transport::Tcp, Bytes::from_static(b"http"));
+        assert_eq!(net.capture().len(), 2);
+    }
+
+    #[test]
+    fn capture_ring_drops_when_full() {
+        let mut net = Network::new(1);
+        let (a, b) = two_public_hosts(&mut net);
+        net.set_capture(true);
+        net.set_capture_limit(3);
+        let dst = Addr::from_ip(net.ip(b), 80);
+        for _ in 0..5 {
+            net.send(a, 1, dst, Transport::Tcp, Bytes::from_static(b"x"));
+        }
+        assert_eq!(net.capture().len(), 3);
+        assert_eq!(net.capture_dropped(), 2);
+        net.clear_capture();
+        assert_eq!(net.capture_dropped(), 0);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let mut net = Network::new(1);
+        let (a, _) = two_public_hosts(&mut net);
+        let keep = net.set_timer(a, Duration::from_secs(1), 1);
+        let cancel = net.set_timer(a, Duration::from_secs(2), 2);
+        assert!(net.cancel_timer(cancel));
+        assert!(!net.cancel_timer(cancel), "handle is stale after cancel");
+        let fired: Vec<u64> = std::iter::from_fn(|| net.step())
+            .map(|(_, ev)| match ev {
+                Event::Timer { token, .. } => token,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(fired, vec![1]);
+        assert!(!net.cancel_timer(keep), "fired handle is stale too");
     }
 
     #[test]

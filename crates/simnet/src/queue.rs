@@ -1,0 +1,534 @@
+//! The simulator's event scheduler: a slab-backed calendar queue.
+//!
+//! [`EventQueue`] replaces the original two-structure scheduler (a
+//! `BinaryHeap<Reverse<(time, seq)>>` ordering index plus a side
+//! `HashMap<seq, Event>` payload store) with a single indexed priority
+//! queue that stores every [`Event`] inline:
+//!
+//! - **Timer-wheel front end.** Near-term events — the overwhelming
+//!   majority in a streaming simulation, where deliveries land a few
+//!   milliseconds out — go into one of [`WHEEL_BUCKETS`] calendar buckets
+//!   of ~0.5 ms width. A push is a `Vec` push; a pop sorts the current
+//!   bucket once and then drains it from the back.
+//! - **Heap overflow tier.** Events beyond the wheel horizon (~1 s) wait
+//!   in a small binary heap and migrate into the wheel as the cursor
+//!   advances. Long timers pay two cheap moves instead of O(log n) sift
+//!   costs against the whole near-term population.
+//! - **Slab slot reuse.** Payloads live in a slab indexed by the queue
+//!   keys; freed slots are recycled through a free list, so steady-state
+//!   churn allocates nothing and — unlike the old `pending` map, which
+//!   kept tombstones until popped — cancelled events release their slot
+//!   (and the payload's heap memory) eagerly.
+//! - **Zero per-event hashing.** No `HashMap` anywhere: every lookup is an
+//!   array index.
+//!
+//! Pop order is strictly `(time, sequence)` — identical to the old
+//! scheduler, which the differential tests against [`HeapMapQueue`] (the
+//! old design, kept as the reference implementation and the `sim_bench`
+//! baseline) pin down.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::net::Event;
+use crate::time::SimTime;
+
+/// Log2 of the bucket width in nanoseconds (2^19 ns ≈ 0.52 ms).
+const BUCKET_SHIFT: u32 = 19;
+
+/// Number of calendar buckets (wheel horizon ≈ 1.07 s).
+const WHEEL_BUCKETS: usize = 2048;
+
+/// Handle to a scheduled event, for cancellation.
+///
+/// Generation-tagged: a handle becomes stale once the event fires or is
+/// cancelled, and [`EventQueue::cancel`] on a stale handle is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
+
+/// Ordering key of one queued event. Payloads stay in the slab; only this
+/// 20-byte key moves through the wheel and overflow tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Key {
+    at: u64,
+    seq: u64,
+    slot: u32,
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Where a live event's key currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Loc {
+    /// In the wheel bucket with this absolute index.
+    Wheel(u64),
+    /// In the overflow heap.
+    Overflow,
+}
+
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    seq: u64,
+    loc: Loc,
+    ev: Option<Event>,
+}
+
+/// Occupancy counters of the queue, exposed for capacity assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventQueueStats {
+    /// Live (scheduled, uncancelled) events.
+    pub live: usize,
+    /// Slab slots ever allocated — bounds the queue's memory footprint.
+    /// Stays at the high-water mark of concurrent events, not the total
+    /// ever scheduled.
+    pub slots: usize,
+    /// Keys currently in the wheel tier.
+    pub wheel: usize,
+    /// Keys currently in the overflow tier.
+    pub overflow: usize,
+}
+
+/// The indexed calendar queue. See the module docs for the design.
+#[derive(Debug)]
+pub struct EventQueue {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    wheel: Vec<Vec<Key>>,
+    wheel_len: usize,
+    /// Absolute bucket index the wheel is positioned at; only advances.
+    cursor: u64,
+    /// Whether the cursor bucket is sorted descending (drained from back).
+    cursor_sorted: bool,
+    overflow: BinaryHeap<Reverse<Key>>,
+    len: usize,
+    next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            slots: Vec::new(),
+            free: Vec::new(),
+            wheel: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            wheel_len: 0,
+            cursor: 0,
+            cursor_sorted: false,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Occupancy counters.
+    pub fn stats(&self) -> EventQueueStats {
+        EventQueueStats {
+            live: self.len,
+            slots: self.slots.len(),
+            wheel: self.wheel_len,
+            overflow: self.overflow.len(),
+        }
+    }
+
+    /// Schedules `ev` at `at`, returning a cancellation handle.
+    pub fn push(&mut self, at: SimTime, ev: Event) -> EventId {
+        let at_ns = at.as_nanos();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        let slot_idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slots.push(Slot {
+                    gen: 0,
+                    seq: 0,
+                    loc: Loc::Overflow,
+                    ev: None,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let key = Key {
+            at: at_ns,
+            seq,
+            slot: slot_idx,
+        };
+
+        // An event never schedules before the cursor (time is monotone);
+        // clamp defensively so a misuse degrades to FIFO, not a panic.
+        let bucket = (at_ns >> BUCKET_SHIFT).max(self.cursor);
+        let loc = if bucket - self.cursor < WHEEL_BUCKETS as u64 {
+            let idx = (bucket % WHEEL_BUCKETS as u64) as usize;
+            if bucket == self.cursor && self.cursor_sorted {
+                // Keep the draining bucket sorted descending.
+                let pos = self.wheel[idx].partition_point(|k| *k > key);
+                self.wheel[idx].insert(pos, key);
+            } else {
+                self.wheel[idx].push(key);
+            }
+            self.wheel_len += 1;
+            Loc::Wheel(bucket)
+        } else {
+            self.overflow.push(Reverse(key));
+            Loc::Overflow
+        };
+
+        let slot = &mut self.slots[slot_idx as usize];
+        slot.seq = seq;
+        slot.loc = loc;
+        slot.ev = Some(ev);
+        self.len += 1;
+        EventId {
+            slot: slot_idx,
+            gen: slot.gen,
+        }
+    }
+
+    /// Pops the earliest event (ties broken by schedule order).
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let mut idx = (self.cursor % WHEEL_BUCKETS as u64) as usize;
+        // Fast path: keep draining an already-sorted cursor bucket.
+        if !self.cursor_sorted || self.wheel[idx].is_empty() {
+            let bucket = self.first_bucket()?;
+            self.advance_cursor_to(bucket);
+            idx = (self.cursor % WHEEL_BUCKETS as u64) as usize;
+            if !self.cursor_sorted {
+                self.wheel[idx].sort_unstable_by(|a, b| b.cmp(a));
+                self.cursor_sorted = true;
+            }
+        }
+        let key = self.wheel[idx].pop().expect("first_bucket is non-empty");
+        self.wheel_len -= 1;
+        self.len -= 1;
+        let slot = &mut self.slots[key.slot as usize];
+        let ev = slot.ev.take().expect("live key has a payload");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(key.slot);
+        Some((SimTime::from_nanos(key.at), ev))
+    }
+
+    /// Time of the earliest event without popping it.
+    pub fn next_at(&self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            return self
+                .overflow
+                .peek()
+                .map(|Reverse(k)| SimTime::from_nanos(k.at));
+        }
+        let mut b = self.cursor;
+        loop {
+            let bucket = &self.wheel[(b % WHEEL_BUCKETS as u64) as usize];
+            if !bucket.is_empty() {
+                let at = if b == self.cursor && self.cursor_sorted {
+                    bucket.last().expect("non-empty").at
+                } else {
+                    bucket.iter().min().expect("non-empty").at
+                };
+                return Some(SimTime::from_nanos(at));
+            }
+            b += 1;
+        }
+    }
+
+    /// Cancels a scheduled event, releasing its slot (and payload memory)
+    /// immediately. Returns `false` if the handle is stale — the event
+    /// already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let Some(slot) = self.slots.get_mut(id.slot as usize) else {
+            return false;
+        };
+        if slot.gen != id.gen || slot.ev.is_none() {
+            return false;
+        }
+        slot.ev = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        let seq = slot.seq;
+        let loc = slot.loc;
+        self.free.push(id.slot);
+        self.len -= 1;
+        match loc {
+            Loc::Wheel(bucket) => {
+                let v = &mut self.wheel[(bucket % WHEEL_BUCKETS as u64) as usize];
+                let pos = v
+                    .iter()
+                    .position(|k| k.seq == seq)
+                    .expect("wheel location is current");
+                // `remove` keeps a sorted cursor bucket sorted.
+                v.remove(pos);
+                self.wheel_len -= 1;
+            }
+            Loc::Overflow => {
+                // Rare (cancellations target near-term timers); rebuilding
+                // the far-future tier keeps every remaining key live so
+                // peeks never have to skip tombstones.
+                let mut keys = std::mem::take(&mut self.overflow).into_vec();
+                keys.retain(|Reverse(k)| k.seq != seq);
+                self.overflow = BinaryHeap::from(keys);
+            }
+        }
+        true
+    }
+
+    /// Informs the queue that simulation time jumped to `now` without
+    /// popping (e.g. `advance_to`). Repositions the wheel cursor so later
+    /// pushes land in the right tier.
+    pub fn advance_time(&mut self, now: SimTime) {
+        let bucket = now.as_nanos() >> BUCKET_SHIFT;
+        if bucket > self.cursor {
+            // Every bucket strictly before `now`'s is empty (its whole
+            // range is in the past), so the jump skips no events.
+            if let Some(first) = self.first_bucket() {
+                self.advance_cursor_to(first.min(bucket));
+            } else {
+                self.advance_cursor_to(bucket);
+            }
+        }
+    }
+
+    /// Absolute bucket index of the earliest event, if any.
+    fn first_bucket(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            return self.overflow.peek().map(|Reverse(k)| k.at >> BUCKET_SHIFT);
+        }
+        let mut b = self.cursor;
+        loop {
+            if !self.wheel[(b % WHEEL_BUCKETS as u64) as usize].is_empty() {
+                return Some(b);
+            }
+            b += 1;
+        }
+    }
+
+    /// Moves the cursor forward to `bucket`, pulling overflow keys that
+    /// fall inside the new horizon into the wheel. Callers must not jump
+    /// past a non-empty bucket.
+    fn advance_cursor_to(&mut self, bucket: u64) {
+        debug_assert!(bucket >= self.cursor, "cursor went backwards");
+        if bucket == self.cursor {
+            return;
+        }
+        self.cursor = bucket;
+        self.cursor_sorted = false;
+        let horizon = self.cursor + WHEEL_BUCKETS as u64;
+        while let Some(Reverse(k)) = self.overflow.peek() {
+            if (k.at >> BUCKET_SHIFT) >= horizon {
+                break;
+            }
+            let Reverse(k) = self.overflow.pop().expect("peeked");
+            let b = k.at >> BUCKET_SHIFT;
+            debug_assert!(b >= self.cursor, "overflow key behind cursor");
+            self.slots[k.slot as usize].loc = Loc::Wheel(b);
+            self.wheel[(b % WHEEL_BUCKETS as u64) as usize].push(k);
+            self.wheel_len += 1;
+        }
+    }
+}
+
+/// The original scheduler — a `BinaryHeap` ordering index plus a side
+/// `HashMap` payload store, one heap op **and** one hash insert/remove per
+/// event. Kept as the reference implementation: the differential tests
+/// below prove [`EventQueue`] pops in the identical order, and
+/// `sim_bench` measures the speedup against it.
+#[derive(Debug, Default)]
+pub struct HeapMapQueue {
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
+    pending: HashMap<u64, Event>,
+    next_seq: u64,
+}
+
+impl HeapMapQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules `ev` at `at`.
+    pub fn push(&mut self, at: SimTime, ev: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.insert(seq, ev);
+        self.queue.push(Reverse((at.as_nanos(), seq)));
+    }
+
+    /// Pops the earliest event (ties broken by schedule order).
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let Reverse((at, seq)) = self.queue.pop()?;
+        let ev = self
+            .pending
+            .remove(&seq)
+            .expect("queued event has a pending entry");
+        Some((SimTime::from_nanos(at), ev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NodeId;
+    use crate::rng::SimRng;
+
+    fn timer(token: u64) -> Event {
+        Event::Timer {
+            node: NodeId(0),
+            token,
+        }
+    }
+
+    fn tok(ev: &Event) -> u64 {
+        match ev {
+            Event::Timer { token, .. } => *token,
+            Event::Packet { .. } => unreachable!("tests use timers"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(5), timer(1));
+        q.push(SimTime::from_millis(2), timer(2));
+        q.push(SimTime::from_millis(5), timer(3));
+        q.push(SimTime::from_secs(10), timer(4)); // overflow tier
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| tok(&e))
+            .collect();
+        assert_eq!(order, vec![2, 1, 3, 4]);
+    }
+
+    #[test]
+    fn next_at_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), timer(1)); // overflow only
+        assert_eq!(q.next_at(), Some(SimTime::from_secs(3)));
+        q.push(SimTime::from_millis(1), timer(2));
+        assert_eq!(q.next_at(), Some(SimTime::from_millis(1)));
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, SimTime::from_millis(1));
+        assert_eq!(q.next_at(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn cancel_is_eager_and_exactly_once() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_millis(1), timer(1));
+        let b = q.push(SimTime::from_millis(2), timer(2));
+        let far = q.push(SimTime::from_secs(30), timer(3));
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "second cancel is a no-op");
+        assert!(q.cancel(far), "overflow-tier cancel works");
+        assert_eq!(q.len(), 1);
+        assert_eq!(tok(&q.pop().unwrap().1), 2);
+        assert!(q.pop().is_none());
+        assert!(!q.cancel(b), "fired events cannot be cancelled");
+    }
+
+    #[test]
+    fn slots_are_reused_under_churn() {
+        let mut q = EventQueue::new();
+        for round in 0..1_000u64 {
+            for i in 0..16 {
+                q.push(SimTime::from_millis(round + 1), timer(i));
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(
+            q.stats().slots <= 16,
+            "slab stays at the high-water mark, got {}",
+            q.stats().slots
+        );
+    }
+
+    #[test]
+    fn push_into_sorted_draining_bucket_keeps_order() {
+        let mut q = EventQueue::new();
+        // Same-bucket events (bucket width ~0.5 ms; use nanosecond offsets).
+        q.push(SimTime::from_nanos(100), timer(1));
+        q.push(SimTime::from_nanos(300), timer(3));
+        let (_, e) = q.pop().unwrap(); // sorts the bucket
+        assert_eq!(tok(&e), 1);
+        q.push(SimTime::from_nanos(200), timer(2));
+        q.push(SimTime::from_nanos(300), timer(4)); // ties after 3
+        assert_eq!(tok(&q.pop().unwrap().1), 2);
+        assert_eq!(tok(&q.pop().unwrap().1), 3);
+        assert_eq!(tok(&q.pop().unwrap().1), 4);
+    }
+
+    #[test]
+    fn agrees_with_heapmap_reference_under_random_churn() {
+        let mut rng = SimRng::seed(99);
+        let mut new_q = EventQueue::new();
+        let mut old_q = HeapMapQueue::new();
+        let mut now = SimTime::ZERO;
+        let mut token = 0u64;
+        for _ in 0..5_000 {
+            if rng.chance(0.6) || new_q.is_empty() {
+                // Mixed near/far delays exercise both tiers.
+                let delay_ns = if rng.chance(0.8) {
+                    rng.range(0..200_000_000u64)
+                } else {
+                    rng.range(0..5_000_000_000u64)
+                };
+                let at = now + std::time::Duration::from_nanos(delay_ns);
+                new_q.push(at, timer(token));
+                old_q.push(at, timer(token));
+                token += 1;
+            } else {
+                let a = new_q.pop().expect("non-empty");
+                let b = old_q.pop().expect("reference non-empty");
+                assert_eq!(a.0, b.0, "pop times agree");
+                assert_eq!(tok(&a.1), tok(&b.1), "pop payloads agree");
+                now = a.0;
+            }
+        }
+        while let Some(a) = new_q.pop() {
+            let b = old_q.pop().expect("reference drains in step");
+            assert_eq!((a.0, tok(&a.1)), (b.0, tok(&b.1)));
+        }
+        assert!(old_q.pop().is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Sorted-vector route lookup for the per-datagram hot path.
+//!
+//! Wire routing is insert-mostly (hosts and NATs are added during topology
+//! construction) and lookup-heavy (every datagram resolves its destination
+//! IP). A sorted `Vec` with binary search beats a `HashMap` here: no
+//! per-lookup hashing, four-byte keys, and a cache-friendly contiguous
+//! layout — the whole table for a thousand-node world fits in a few cache
+//! lines' worth of pages. `microbench.rs` compares the two.
+
+use std::net::Ipv4Addr;
+
+/// A map from IPv4 address to route target, backed by a sorted vector.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable<V> {
+    entries: Vec<(Ipv4Addr, V)>,
+}
+
+impl<V> RouteTable<V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RouteTable {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a route, returning the previous target for `ip` if any.
+    pub fn insert(&mut self, ip: Ipv4Addr, target: V) -> Option<V> {
+        match self.entries.binary_search_by_key(&ip, |(k, _)| *k) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, target)),
+            Err(i) => {
+                self.entries.insert(i, (ip, target));
+                None
+            }
+        }
+    }
+
+    /// Looks up the route target for `ip`.
+    #[inline]
+    pub fn get(&self, ip: Ipv4Addr) -> Option<&V> {
+        self.entries
+            .binary_search_by_key(&ip, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Iterates routes in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Addr, &V)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = RouteTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(Ipv4Addr::new(10, 0, 0, 2), 7u32), None);
+        assert_eq!(t.insert(Ipv4Addr::new(10, 0, 0, 1), 5), None);
+        assert_eq!(t.insert(Ipv4Addr::new(203, 0, 113, 9), 9), None);
+        assert_eq!(t.get(Ipv4Addr::new(10, 0, 0, 1)), Some(&5));
+        assert_eq!(t.get(Ipv4Addr::new(10, 0, 0, 2)), Some(&7));
+        assert_eq!(t.get(Ipv4Addr::new(10, 0, 0, 3)), None);
+        assert_eq!(t.insert(Ipv4Addr::new(10, 0, 0, 1), 6), Some(5));
+        assert_eq!(t.get(Ipv4Addr::new(10, 0, 0, 1)), Some(&6));
+        assert_eq!(t.len(), 3);
+        // Iteration is address-ordered.
+        let ips: Vec<Ipv4Addr> = t.iter().map(|(ip, _)| ip).collect();
+        let mut sorted = ips.clone();
+        sorted.sort();
+        assert_eq!(ips, sorted);
+    }
+
+    #[test]
+    fn agrees_with_hashmap_reference() {
+        use crate::rng::SimRng;
+        use std::collections::HashMap;
+        let mut rng = SimRng::seed(3);
+        let mut table = RouteTable::new();
+        let mut reference = HashMap::new();
+        for i in 0..2_000u32 {
+            let ip = Ipv4Addr::from(rng.next_u64() as u32 & 0xffff);
+            table.insert(ip, i);
+            reference.insert(ip, i);
+        }
+        assert_eq!(table.len(), reference.len());
+        for probe in 0..0x10000u32 {
+            let ip = Ipv4Addr::from(probe);
+            assert_eq!(table.get(ip), reference.get(&ip));
+        }
+    }
+}

@@ -5,7 +5,8 @@
 //! cargo run --release --example ip_leak_survey
 //! ```
 
-use pdn_core::ip_leak::{huya_population, rt_news_population, run_wild};
+use pdn_core::ip_leak::{huya_population, rt_news_population, run_wild_trials, WildTrial};
+use pdn_core::WorldPool;
 use pdn_provider::MatchingPolicy;
 
 fn print_result(r: &pdn_core::IpLeakWildResult) {
@@ -43,10 +44,30 @@ fn print_result(r: &pdn_core::IpLeakWildResult) {
 }
 
 fn main() {
+    // All four harvests are independent worlds with fixed seeds; run them
+    // across the WorldPool — the printed numbers are identical to the old
+    // serial `run_wild` calls at any worker count.
+    let trial = |spec, matching, seed| WildTrial {
+        spec,
+        matching,
+        observer_country: "US".into(),
+        days: 7.0,
+        seed,
+    };
+    let trials = [
+        trial(huya_population(), MatchingPolicy::Global, 1),
+        trial(rt_news_population(), MatchingPolicy::Global, 2),
+        trial(huya_population(), MatchingPolicy::SameCountry, 1),
+        trial(rt_news_population(), MatchingPolicy::SameCountry, 2),
+    ];
+    let mut results = run_wild_trials(&trials, &WorldPool::auto());
+    let rt_m = results.pop().expect("four trials");
+    let huya_m = results.pop().expect("four trials");
+    let rt = results.pop().expect("four trials");
+    let huya = results.pop().expect("four trials");
+
     println!("== one-week harvest from a single controlled peer (US) ==\n");
-    let huya = run_wild(&huya_population(), MatchingPolicy::Global, "US", 7.0, 1);
     print_result(&huya);
-    let rt = run_wild(&rt_news_population(), MatchingPolicy::Global, "US", 7.0, 2);
     print_result(&rt);
     println!(
         "\ntotal unique IPs harvested: {}",
@@ -54,21 +75,7 @@ fn main() {
     );
 
     println!("\n== §V-C mitigation: same-country peer matching ==\n");
-    let huya_m = run_wild(
-        &huya_population(),
-        MatchingPolicy::SameCountry,
-        "US",
-        7.0,
-        1,
-    );
     print_result(&huya_m);
-    let rt_m = run_wild(
-        &rt_news_population(),
-        MatchingPolicy::SameCountry,
-        "US",
-        7.0,
-        2,
-    );
     print_result(&rt_m);
     println!(
         "\nleak reduction: Huya {} → {}   RT News {} → {} ({}% of baseline)",

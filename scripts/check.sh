@@ -10,6 +10,12 @@ cargo build --release --offline --workspace
 echo "==> cargo test"
 cargo test --offline --workspace --quiet
 
+echo "==> determinism gate (worker counts 1/2/4/8)"
+cargo test --offline -p pdn-bench --test pool_determinism --quiet
+
+echo "==> cargo bench --no-run (benches stay compiling)"
+cargo bench --offline --workspace --no-run
+
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,84 @@
+//! Determinism across worker counts: the WorldPool contract is that every
+//! pooled table is *byte-identical* to the serial run at any worker count
+//! — seeds derive from job indices, results merge in index order, and
+//! nothing about thread scheduling can leak into an output.
+//!
+//! Each test renders the same artifact at worker counts {1, 2, 4, 8} and
+//! compares the serialized strings bitwise.
+
+use pdn_bench::ablations::{ablation_suite, AblationConfig};
+use pdn_core::riskmatrix::{build_matrix_pooled, ProviderKeyCounts};
+use pdn_core::{ip_leak, WorldPool};
+use pdn_provider::{MatchingPolicy, ProviderProfile};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[test]
+fn table5_is_bitwise_identical_across_worker_counts() {
+    let profiles = [
+        ProviderProfile::peer5(),
+        ProviderProfile::streamroot(),
+        ProviderProfile::viblast(),
+    ];
+    let counts = |name: &str| match name {
+        "Peer5" => Some(ProviderKeyCounts {
+            valid: 36,
+            cross_domain_vulnerable: 11,
+        }),
+        "Streamroot" => Some(ProviderKeyCounts {
+            valid: 1,
+            cross_domain_vulnerable: 0,
+        }),
+        "Viblast" => Some(ProviderKeyCounts {
+            valid: 3,
+            cross_domain_vulnerable: 0,
+        }),
+        _ => None,
+    };
+    let reference = build_matrix_pooled(&profiles, counts, 777, &WorldPool::serial()).render();
+    assert!(reference.contains("11/36"), "sanity: real matrix rendered");
+    for workers in WORKER_COUNTS {
+        let got = build_matrix_pooled(&profiles, counts, 777, &WorldPool::new(workers)).render();
+        assert_eq!(got, reference, "table V diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn ablation_suite_is_bitwise_identical_across_worker_counts() {
+    let reference = ablation_suite(AblationConfig::quick(), 31, &WorldPool::serial()).render();
+    for workers in WORKER_COUNTS {
+        let got = ablation_suite(AblationConfig::quick(), 31, &WorldPool::new(workers)).render();
+        assert_eq!(got, reference, "ablations diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn ip_leak_trials_are_bitwise_identical_across_worker_counts() {
+    let trials: Vec<ip_leak::WildTrial> = [
+        (ip_leak::huya_population(), MatchingPolicy::Global),
+        (ip_leak::rt_news_population(), MatchingPolicy::Global),
+        (ip_leak::rt_news_population(), MatchingPolicy::SameCountry),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, (spec, matching))| ip_leak::WildTrial {
+        spec,
+        matching,
+        observer_country: "US".into(),
+        days: 0.3,
+        seed: 400 + i as u64,
+    })
+    .collect();
+    let render = |pool: &WorldPool| {
+        ip_leak::run_wild_trials(&trials, pool)
+            .iter()
+            .map(|r| format!("{r:?}\n"))
+            .collect::<String>()
+    };
+    let reference = render(&WorldPool::serial());
+    assert!(reference.contains("Huya"), "sanity: real harvest rendered");
+    for workers in WORKER_COUNTS {
+        let got = render(&WorldPool::new(workers));
+        assert_eq!(got, reference, "ip_leak diverged at {workers} workers");
+    }
+}
