@@ -8,7 +8,7 @@
 use serde::{de::DeserializeOwned, Serialize};
 
 use crate::base64url;
-use crate::hmac::hmac_sha256;
+use crate::hmac::{hmac_sha256, hmac_sha256_keyed, HmacKey};
 
 /// The fixed JOSE header used by this implementation:
 /// `{"alg":"HS256","typ":"JWT"}`.
@@ -77,6 +77,29 @@ pub fn sign_raw(payload_json: &[u8], key: &[u8]) -> String {
     format!("{signing_input}.{}", base64url::encode(&sig))
 }
 
+/// Signs `claims` into a compact HS256 JWT under a precomputed [`HmacKey`].
+///
+/// Identical output to [`sign`] with the same key bytes; issuers holding a
+/// long-lived provider secret amortize the HMAC key schedule across tokens.
+///
+/// # Errors
+///
+/// Returns a serialization error if `claims` cannot be encoded as JSON.
+pub fn sign_keyed<T: Serialize>(claims: &T, key: &HmacKey) -> Result<String, serde_json::Error> {
+    let payload = serde_json::to_vec(claims)?;
+    Ok(sign_raw_keyed(&payload, key))
+}
+
+/// Signs a raw JSON payload into a compact HS256 JWT under a precomputed
+/// [`HmacKey`]. The signing input is MACed scatter-gather (`head`, `.`,
+/// `body`) without an intermediate concatenation.
+pub fn sign_raw_keyed(payload_json: &[u8], key: &HmacKey) -> String {
+    let head = base64url::encode(HEADER_JSON.as_bytes());
+    let body = base64url::encode(payload_json);
+    let sig = hmac_sha256_keyed(key, &[head.as_bytes(), b".", body.as_bytes()]);
+    format!("{head}.{body}.{}", base64url::encode(&sig))
+}
+
 /// Verifies `token` under `key` and deserializes its claims.
 ///
 /// # Errors
@@ -94,6 +117,29 @@ pub fn verify<T: DeserializeOwned>(token: &str, key: &[u8]) -> Result<T, VerifyJ
 ///
 /// See [`VerifyJwtError`].
 pub fn verify_raw(token: &str, key: &[u8]) -> Result<Vec<u8>, VerifyJwtError> {
+    verify_raw_keyed(token, &HmacKey::new(key))
+}
+
+/// Verifies `token` under a precomputed [`HmacKey`] and deserializes its
+/// claims. Validators checking many tokens under one provider secret hold
+/// the key once instead of re-running the HMAC key schedule per token.
+///
+/// # Errors
+///
+/// See [`VerifyJwtError`]. Signature verification runs in constant time.
+pub fn verify_keyed<T: DeserializeOwned>(token: &str, key: &HmacKey) -> Result<T, VerifyJwtError> {
+    let payload = verify_raw_keyed(token, key)?;
+    serde_json::from_slice(&payload).map_err(|e| VerifyJwtError::InvalidClaims(e.to_string()))
+}
+
+/// Verifies `token` under a precomputed [`HmacKey`] and returns its raw JSON
+/// payload bytes. The signing input is MACed scatter-gather — no
+/// `head.body` concatenation is allocated.
+///
+/// # Errors
+///
+/// See [`VerifyJwtError`].
+pub fn verify_raw_keyed(token: &str, key: &HmacKey) -> Result<Vec<u8>, VerifyJwtError> {
     let mut parts = token.split('.');
     let (head, body, sig) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(h), Some(b), Some(s), None) => (h, b, s),
@@ -104,8 +150,7 @@ pub fn verify_raw(token: &str, key: &[u8]) -> Result<Vec<u8>, VerifyJwtError> {
         return Err(VerifyJwtError::UnsupportedHeader);
     }
     let sig_bytes = base64url::decode(sig).map_err(|_| VerifyJwtError::InvalidEncoding)?;
-    let signing_input = format!("{head}.{body}");
-    let expect = hmac_sha256(key, signing_input.as_bytes());
+    let expect = hmac_sha256_keyed(key, &[head.as_bytes(), b".", body.as_bytes()]);
     if !crate::ct_eq(&expect, &sig_bytes) {
         return Err(VerifyJwtError::BadSignature);
     }
@@ -180,6 +225,23 @@ mod tests {
         assert_eq!(
             verify::<Claims>(&token, b"k").unwrap_err(),
             VerifyJwtError::UnsupportedHeader
+        );
+    }
+
+    #[test]
+    fn keyed_sign_and_verify_match_byte_key_path() {
+        let key = HmacKey::new(b"k");
+        let token = sign_keyed(&claims(), &key).unwrap();
+        // Keyed signing is byte-identical to the per-call key schedule.
+        assert_eq!(token, sign(&claims(), b"k").unwrap());
+        let back: Claims = verify_keyed(&token, &key).unwrap();
+        assert_eq!(back, claims());
+        // Cross-path: keyed-signed verifies under byte key and vice versa.
+        let back2: Claims = verify(&token, b"k").unwrap();
+        assert_eq!(back2, claims());
+        assert_eq!(
+            verify_keyed::<Claims>(&token, &HmacKey::new(b"other")).unwrap_err(),
+            VerifyJwtError::BadSignature
         );
     }
 

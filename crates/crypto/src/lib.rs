@@ -4,9 +4,15 @@
 //! framework, implemented from scratch (no crypto crates are available in
 //! the offline dependency set):
 //!
-//! - [`sha256`] — SHA-256 (FIPS 180-4), for integrity metadata and HMAC.
+//! - [`sha256`] — SHA-256 (FIPS 180-4) with an unrolled compression function,
+//!   a runtime-detected SHA-NI hardware path, and midstate capture, for
+//!   integrity metadata and HMAC.
 //! - [`md5`] — MD5 (RFC 1321), modeling Viblast's segment-hash plugin.
-//! - [`hmac`] — HMAC-SHA256 (RFC 2104), for JWT HS256 and SIM signatures.
+//! - [`hmac`] — HMAC-SHA256 (RFC 2104), for JWT HS256 and SIM signatures;
+//!   [`hmac::HmacKey`] caches the ipad/opad midstates so repeated MACs under
+//!   one key skip the key schedule.
+//! - [`reference`] — the pre-fast-path SHA-256/HMAC, kept as the
+//!   differential-test and benchmark baseline.
 //! - [`base64url`] — unpadded base64url (RFC 4648 §5), for JWT transport.
 //! - [`jwt`] — compact HS256 JSON Web Tokens (RFC 7515/7519), implementing
 //!   the paper's disposable video-binding token (§V-A, Listing 1).
@@ -30,7 +36,10 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the SHA-NI backend in `sha256::ni` is the one
+// sanctioned exception (CPU intrinsics require `unsafe`) and opts in with a
+// scoped `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod base64url;
@@ -38,6 +47,7 @@ pub mod crc32;
 pub mod hmac;
 pub mod jwt;
 pub mod md5;
+pub mod reference;
 pub mod sha256;
 
 /// Constant-time equality of two byte slices.

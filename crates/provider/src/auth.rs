@@ -10,6 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use pdn_crypto::hmac::HmacKey;
 use pdn_crypto::jwt;
 use pdn_media::VideoId;
 use pdn_simnet::SimTime;
@@ -177,7 +178,9 @@ impl PdnToken {
 /// Server-side verifier for [`PdnToken`]s, tracking per-token usage.
 #[derive(Debug)]
 pub struct TokenValidator {
-    key: Vec<u8>,
+    /// Precomputed HMAC key schedule — the per-join key hashing is paid once
+    /// at construction, not per `validate` call.
+    key: HmacKey,
     /// Uses consumed per (customer, peer, timestamp) token identity.
     uses: HashMap<(String, String, u64), u32>,
 }
@@ -186,7 +189,7 @@ impl TokenValidator {
     /// Creates a validator holding the provider's signing key.
     pub fn new(key: impl Into<Vec<u8>>) -> Self {
         TokenValidator {
-            key: key.into(),
+            key: HmacKey::new(&key.into()),
             uses: HashMap::new(),
         }
     }
@@ -203,7 +206,7 @@ impl TokenValidator {
         video: &VideoId,
         now: SimTime,
     ) -> Result<PdnToken, AuthError> {
-        let token: PdnToken = jwt::verify(token_jwt, &self.key)
+        let token: PdnToken = jwt::verify_keyed(token_jwt, &self.key)
             .map_err(|e| AuthError::InvalidToken(e.to_string()))?;
         let now_unix = unix_time(now);
         if now_unix < token.timestamp {

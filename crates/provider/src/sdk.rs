@@ -203,6 +203,9 @@ impl Conn {
 /// The PDN SDK agent. See the [module docs](self).
 pub struct PdnAgent {
     config: AgentConfig,
+    /// Precomputed HMAC schedule for `config.sim_key`; SIM verification on
+    /// every broadcast reuses it instead of rehashing the key.
+    sim_hmac: pdn_crypto::hmac::HmacKey,
     cert: Certificate,
     rng: SimRng,
     player: Player,
@@ -276,6 +279,7 @@ impl PdnAgent {
             gatherer.add_host_candidate(host_addr);
         }
         PdnAgent {
+            sim_hmac: pdn_crypto::hmac::HmacKey::new(&config.sim_key),
             config,
             cert,
             player: Player::new(0),
@@ -444,7 +448,7 @@ impl PdnAgent {
                 let (Some(im), Some(sig)) = (parse_hex32(&im), parse_hex32(&sig)) else {
                     return Vec::new();
                 };
-                if !crate::signaling::SignalingServer::verify_sim(&self.config.sim_key, &im, &sig) {
+                if !crate::signaling::SignalingServer::verify_sim_keyed(&self.sim_hmac, &im, &sig) {
                     return Vec::new();
                 }
                 self.sims.insert((rendition, seq), (im, sig));
@@ -1191,7 +1195,7 @@ impl PdnAgent {
             return Vec::new();
         };
         let computed = compute_im(&segment.data, &self.config.video.0, rendition, seq);
-        let sig_ok = crate::signaling::SignalingServer::verify_sim(&self.config.sim_key, im, sig);
+        let sig_ok = crate::signaling::SignalingServer::verify_sim_keyed(&self.sim_hmac, im, sig);
         if !sig_ok || computed != *im {
             // Polluted: reject and refetch from the CDN.
             self.polluted_rejections += 1;

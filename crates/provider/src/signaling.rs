@@ -9,7 +9,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use pdn_crypto::hmac::hmac_sha256;
+use pdn_crypto::hmac::{hmac_sha256, hmac_sha256_keyed, HmacKey};
 use pdn_media::{OriginServer, SegmentId, VideoId};
 use pdn_simnet::{Addr, GeoIpService, SimRng, SimTime};
 
@@ -98,6 +98,9 @@ pub struct SignalingServer {
     blacklist: HashSet<u64>,
     blacklist_addrs: HashSet<Addr>,
     sim_key: Vec<u8>,
+    /// Precomputed HMAC schedule for `sim_key`; every SIM signature reuses
+    /// the cached ipad/opad midstates instead of rehashing the key.
+    sim_hmac: HmacKey,
     origin: Option<OriginServer>,
     defense_stats: DefenseStats,
     rng: SimRng,
@@ -135,6 +138,7 @@ impl SignalingServer {
             blacklist: HashSet::new(),
             blacklist_addrs: HashSet::new(),
             sim_key: b"pdn-server-sim-key".to_vec(),
+            sim_hmac: HmacKey::new(b"pdn-server-sim-key"),
             origin: None,
             defense_stats: DefenseStats::default(),
             rng: SimRng::seed(seed ^ 0x51_6e_a1),
@@ -488,7 +492,7 @@ impl SignalingServer {
             }
         }
         liars.sort_unstable();
-        let sig = hmac_sha256(&self.sim_key, &authentic);
+        let sig = hmac_sha256_keyed(&self.sim_hmac, &[&authentic]);
         entry.sim = Some((authentic, sig));
         self.defense_stats.sims_issued += 1;
 
@@ -534,6 +538,13 @@ impl SignalingServer {
     /// Verifies a SIM signature (what honest peers do on receipt).
     pub fn verify_sim(key: &[u8], im: &[u8; 32], sig: &[u8; 32]) -> bool {
         pdn_crypto::ct_eq(&hmac_sha256(key, im), sig)
+    }
+
+    /// Like [`SignalingServer::verify_sim`], but with a precomputed
+    /// [`HmacKey`] — peers verifying many SIM broadcasts pay the key
+    /// schedule once instead of per signature.
+    pub fn verify_sim_keyed(key: &HmacKey, im: &[u8; 32], sig: &[u8; 32]) -> bool {
+        pdn_crypto::ct_eq(&hmac_sha256_keyed(key, &[im]), sig)
     }
 
     /// The server's SIM key (shared with peers for verification; in a real

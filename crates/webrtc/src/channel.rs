@@ -27,6 +27,9 @@ pub struct DataChannel {
     dtls: DtlsEndpoint,
     next_msg_id: u64,
     partials: HashMap<u64, Partial>,
+    /// Reused chunk-frame staging buffer: after the first full-size chunk,
+    /// `send_message` performs no per-chunk frame allocation.
+    frame: BytesMut,
 }
 
 impl DataChannel {
@@ -44,6 +47,7 @@ impl DataChannel {
             dtls,
             next_msg_id: 0,
             partials: HashMap::new(),
+            frame: BytesMut::new(),
         }
     }
 
@@ -63,15 +67,25 @@ impl DataChannel {
         let total = message.len().div_ceil(CHUNK_DATA).max(1) as u32;
         let mut records = Vec::with_capacity(total as usize);
         let mut chunks = message.chunks(CHUNK_DATA);
+        let mut frame = std::mem::take(&mut self.frame);
         for idx in 0..total {
             let body = chunks.next().unwrap_or(&[]);
-            let mut frame = BytesMut::with_capacity(CHUNK_HEADER + body.len());
+            frame.clear();
+            frame.reserve(CHUNK_HEADER + body.len());
             frame.put_u64(msg_id);
             frame.put_u32(idx);
             frame.put_u32(total);
             frame.put_slice(body);
-            records.push(self.dtls.seal(&frame)?);
+            let sealed = self.dtls.seal(&frame);
+            match sealed {
+                Ok(record) => records.push(record),
+                Err(e) => {
+                    self.frame = frame;
+                    return Err(e);
+                }
+            }
         }
+        self.frame = frame;
         Ok(records)
     }
 

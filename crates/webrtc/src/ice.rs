@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use pdn_crypto::hmac::hmac_sha256;
+use pdn_crypto::hmac::HmacKey;
 use pdn_simnet::{Addr, SimRng};
 
 use crate::cert::Fingerprint;
@@ -52,9 +52,15 @@ enum TxPurpose {
 pub struct IceAgent {
     local_ufrag: String,
     local_pwd: String,
+    /// Precomputed HMAC key of `local_pwd`, shared by every incoming-check
+    /// verification.
+    local_key: HmacKey,
     local_port: u16,
     candidates: Vec<Candidate>,
     remote: Option<SessionDescription>,
+    /// Precomputed HMAC key of the remote password, set with the remote
+    /// description and reused across the whole connectivity-check storm.
+    remote_key: Option<HmacKey>,
     in_flight: HashMap<[u8; 12], TxPurpose>,
     selected: Option<Addr>,
     gathering_done: bool,
@@ -79,12 +85,15 @@ impl IceAgent {
     /// connection agent per neighbor but signals a single SDP, so all of a
     /// peer's agents must answer to the same credentials.
     pub fn with_credentials(local_port: u16, ufrag: String, pwd: String, rng: SimRng) -> Self {
+        let local_key = HmacKey::new(pwd.as_bytes());
         IceAgent {
             local_ufrag: ufrag,
             local_pwd: pwd,
+            local_key,
             local_port,
             candidates: Vec::new(),
             remote: None,
+            remote_key: None,
             in_flight: HashMap::new(),
             selected: None,
             gathering_done: false,
@@ -159,6 +168,7 @@ impl IceAgent {
         for c in &remote.candidates {
             self.remote_addrs_seen.push(c.addr);
         }
+        self.remote_key = Some(HmacKey::new(remote.ice_pwd.as_bytes()));
         self.remote = Some(remote);
     }
 
@@ -173,7 +183,7 @@ impl IceAgent {
         let mut targets: Vec<Candidate> = remote.candidates.clone();
         targets.sort_by_key(|c| std::cmp::Reverse(c.priority));
         let username = format!("{}:{}", remote.ice_ufrag, self.local_ufrag);
-        let pwd = remote.ice_pwd.clone();
+        let remote_key = self.remote_key.expect("set_remote computed the key");
         let mut out = Vec::new();
         for cand in targets {
             if !self.checked_remotes.insert(cand.addr) {
@@ -186,10 +196,7 @@ impl IceAgent {
             let msg = Message::binding_request(txid)
                 .with(Attribute::Username(username.clone()))
                 .with(Attribute::Priority(cand.priority))
-                .with(Attribute::MessageIntegrity(hmac_sha256(
-                    pwd.as_bytes(),
-                    &txid,
-                )));
+                .with_integrity(&remote_key);
             out.push(IceEvent::SendTo {
                 to: cand.addr,
                 data: msg.encode(),
@@ -212,7 +219,7 @@ impl IceAgent {
             return Vec::new();
         };
         let username = format!("{}:{}", remote.ice_ufrag, self.local_ufrag);
-        let pwd = remote.ice_pwd.clone();
+        let remote_key = self.remote_key.expect("set_remote computed the key");
         let targets: Vec<Addr> = remote.candidates.iter().map(|c| c.addr).collect();
         let mut out = Vec::new();
         for addr in targets {
@@ -222,10 +229,7 @@ impl IceAgent {
             self.checks_sent += 1;
             let msg = Message::binding_request(txid)
                 .with(Attribute::Username(username.clone()))
-                .with(Attribute::MessageIntegrity(hmac_sha256(
-                    pwd.as_bytes(),
-                    &txid,
-                )));
+                .with_integrity(&remote_key);
             out.push(IceEvent::SendTo {
                 to: addr,
                 data: msg.encode(),
@@ -288,11 +292,7 @@ impl IceAgent {
         if username.split(':').next() != Some(self.local_ufrag.as_str()) {
             return Vec::new();
         }
-        let mac_ok = msg.attributes.iter().any(|a| {
-            matches!(a, Attribute::MessageIntegrity(mac)
-                if pdn_crypto::ct_eq(mac, &hmac_sha256(self.local_pwd.as_bytes(), &msg.transaction_id)))
-        });
-        if !mac_ok {
+        if !msg.verify_integrity(&self.local_key) {
             let err = Message::new(Class::Error, Method::Binding, msg.transaction_id)
                 .with(Attribute::ErrorCode(401, "Unauthorized".into()));
             return vec![IceEvent::SendTo {
@@ -316,16 +316,13 @@ impl IceAgent {
             if let Some(remote) = &self.remote {
                 self.checked_remotes.insert(from);
                 let username = format!("{}:{}", remote.ice_ufrag, self.local_ufrag);
-                let pwd = remote.ice_pwd.clone();
+                let remote_key = self.remote_key.expect("set_remote computed the key");
                 let txid = self.fresh_txid();
                 self.in_flight
                     .insert(txid, TxPurpose::Check { remote: from });
                 let check = Message::binding_request(txid)
                     .with(Attribute::Username(username))
-                    .with(Attribute::MessageIntegrity(hmac_sha256(
-                        pwd.as_bytes(),
-                        &txid,
-                    )));
+                    .with_integrity(&remote_key);
                 events.push(IceEvent::SendTo {
                     to: from,
                     data: check.encode(),
@@ -376,6 +373,7 @@ impl IceAgent {
 mod tests {
     use super::*;
     use crate::cert::Certificate;
+    use pdn_crypto::hmac::hmac_sha256;
 
     fn agent(port: u16, seed: u64) -> IceAgent {
         let mut rng = SimRng::seed(seed);

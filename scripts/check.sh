@@ -13,6 +13,10 @@ cargo test --offline --workspace --quiet
 echo "==> determinism gate (worker counts 1/2/4/8)"
 cargo test --offline -p pdn-bench --test pool_determinism --quiet
 
+echo "==> crypto gate (differential HMAC + fast-path speedup/alloc asserts)"
+cargo test --offline -p pdn-crypto --quiet diff_tests
+cargo run --release --offline -p pdn-bench --bin crypto_bench -- --quick
+
 echo "==> cargo bench --no-run (benches stay compiling)"
 cargo bench --offline --workspace --no-run
 

@@ -18,7 +18,7 @@
 //!   without copying.
 
 use std::hash::{Hash, Hasher};
-use std::ops::{Bound, Deref, RangeBounds};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
 /// The backing storage of a [`Bytes`] handle.
@@ -304,6 +304,11 @@ impl BytesMut {
         self.buf.reserve(additional);
     }
 
+    /// Resizes to `len` bytes, filling any new tail with `val`.
+    pub fn resize(&mut self, len: usize, val: u8) {
+        self.buf.resize(len, val);
+    }
+
     /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
@@ -318,9 +323,21 @@ impl Deref for BytesMut {
     }
 }
 
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.buf
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
     }
 }
 
