@@ -4,8 +4,12 @@
 //! parallel, with a byte-identity check across worker counts.
 //!
 //! ```text
-//! cargo run --release -p pdn-bench --bin sim_bench
+//! cargo run --release -p pdn-bench --bin sim_bench [-- --quick]
 //! ```
+//!
+//! `--quick` runs the pooled workload once, serially, and fails if it
+//! regressed more than 10% against the committed `BENCH_sim.json` — the
+//! CI guard `scripts/check.sh` uses. No JSON is written in quick mode.
 
 use std::time::{Duration, Instant};
 
@@ -74,7 +78,50 @@ fn churn<Q>(
     while pop(q).is_some() {}
 }
 
+/// The committed `workload_serial_ms` from a previously written
+/// `BENCH_sim.json`, if one exists in the working directory.
+fn committed_serial_ms() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_sim.json").ok()?;
+    let key = "\"workload_serial_ms\": ";
+    let rest = &text[text.find(key)? + key.len()..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
 fn main() {
+    let workload = |pool: &WorldPool| {
+        let mut out = table5_pooled(SEED, pool).render();
+        out.push_str(&ablation_suite(AblationConfig::full(), SEED, pool).render());
+        out
+    };
+
+    // `--quick`: one serial workload run gated against the committed
+    // number; the wire/queue microbenches have their own binaries.
+    if std::env::args().any(|a| a == "--quick") {
+        let t = Instant::now();
+        std::hint::black_box(workload(&WorldPool::serial()));
+        let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+        match committed_serial_ms() {
+            Some(committed) => {
+                println!(
+                    "workload_serial_ms: {serial_ms:.2} (committed {committed:.2}, \
+                     ratio {:.2})",
+                    serial_ms / committed
+                );
+                assert!(
+                    serial_ms <= committed * 1.10,
+                    "serial workload regressed >10% vs committed BENCH_sim.json \
+                     ({serial_ms:.2} ms vs {committed:.2} ms)"
+                );
+            }
+            None => {
+                println!("workload_serial_ms: {serial_ms:.2}");
+                eprintln!("note: no committed BENCH_sim.json; skipping the regression gate");
+            }
+        }
+        return;
+    }
+
     // --- Queue microbench: EventQueue vs the old heap+hashmap design. ---
     // Runs interleave the two queues so slow host phases (this may share a
     // single core) penalize both sides alike.
@@ -114,11 +161,6 @@ fn main() {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let workload = |pool: &WorldPool| {
-        let mut out = table5_pooled(SEED, pool).render();
-        out.push_str(&ablation_suite(AblationConfig::full(), SEED, pool).render());
-        out
-    };
 
     let reference = workload(&WorldPool::serial());
     let mut identical = true;
@@ -145,12 +187,16 @@ fn main() {
             .collect(),
     );
 
+    // The execution mode the 8-worker pool actually picked on this host
+    // ("inline" on 1-core hosts, where spawning threads only loses time).
+    let pool_mode = WorldPool::new(8).mode();
     let json = format!(
         "{{\n  \"host_parallelism\": {host},\n  \"queue_churn_events\": {CHURN_EVENTS},\n  \
          \"queue_events_per_sec_new\": {new_eps:.0},\n  \"queue_events_per_sec_old\": {old_eps:.0},\n  \
          \"queue_speedup\": {:.2},\n  \"workload_serial_ms\": {serial_ms:.2},\n  \
          \"workload_parallel_ms\": {parallel_ms:.2},\n  \"workload_speedup\": {:.2},\n  \
-         \"workers\": 8,\n  \"identical_across_workers\": {identical}\n}}\n",
+         \"workers\": 8,\n  \"pool_mode\": \"{pool_mode}\",\n  \
+         \"identical_across_workers\": {identical}\n}}\n",
         new_eps / old_eps,
         serial_ms / parallel_ms,
     );

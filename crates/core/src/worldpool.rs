@@ -16,6 +16,20 @@
 //! never from thread identity or completion order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The host's available parallelism, probed once. Spawning scoped threads
+/// on a 1-core host only adds spawn/join and cache-handoff overhead (the
+/// measured 0.91x of BENCH_sim.json), so the pool falls back to inline
+/// execution there regardless of the requested worker count.
+fn host_parallelism() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
 
 /// A pool of worker threads that evaluates independent world jobs in
 /// parallel while preserving serial-equivalent output order.
@@ -45,9 +59,32 @@ impl WorldPool {
         WorldPool::new(1)
     }
 
-    /// Number of workers this pool will spawn.
+    /// Number of workers this pool was configured with (the requested
+    /// count, before the 1-core inline fallback is applied).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Number of workers [`run`](Self::run) will actually use: the
+    /// requested count, collapsed to 1 on hosts without real parallelism
+    /// where spawning threads can only lose time.
+    pub fn effective_workers(&self) -> usize {
+        if host_parallelism() <= 1 {
+            1
+        } else {
+            self.workers
+        }
+    }
+
+    /// Execution mode `run` will pick: `"inline"` (calling thread, no
+    /// spawn/merge) or `"threaded"` (scoped worker threads). Recorded in
+    /// BENCH_sim.json so a benchmark result names the path it measured.
+    pub fn mode(&self) -> &'static str {
+        if self.effective_workers() <= 1 {
+            "inline"
+        } else {
+            "threaded"
+        }
     }
 
     /// Runs `f(0), f(1), …, f(jobs - 1)` across the pool and returns the
@@ -58,11 +95,12 @@ impl WorldPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        if self.workers <= 1 || jobs <= 1 {
+        let effective = self.effective_workers();
+        if effective <= 1 || jobs <= 1 {
             return (0..jobs).map(f).collect();
         }
         let cursor = AtomicUsize::new(0);
-        let workers = self.workers.min(jobs);
+        let workers = effective.min(jobs);
         let mut indexed: Vec<(usize, T)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -141,5 +179,20 @@ mod tests {
         assert_eq!(WorldPool::new(0).workers(), 1);
         assert_eq!(WorldPool::serial().workers(), 1);
         assert!(WorldPool::auto().workers() >= 1);
+    }
+
+    #[test]
+    fn one_core_hosts_collapse_to_inline_mode() {
+        let pool = WorldPool::new(8);
+        if host_parallelism() <= 1 {
+            assert_eq!(pool.effective_workers(), 1, "no threads on a 1-core host");
+            assert_eq!(pool.mode(), "inline");
+        } else {
+            assert_eq!(pool.effective_workers(), 8);
+            assert_eq!(pool.mode(), "threaded");
+        }
+        // The requested count is still reported either way.
+        assert_eq!(pool.workers(), 8);
+        assert_eq!(WorldPool::serial().mode(), "inline");
     }
 }

@@ -10,6 +10,8 @@
 //!   free-riding attack inflates;
 //! - [`profiles`] — per-provider security postures (Table V's switches);
 //! - [`proto`] — signaling / HTTP / P2P wire formats;
+//! - [`wire`] — the versioned zero-copy binary codec behind [`proto`]'s
+//!   hot paths (JSON/legacy formats kept as a differential baseline);
 //! - [`signaling`] — the tracker: swarms, neighbor introduction, metering,
 //!   §V-B integrity checking with blacklist, §V-C peer matching;
 //! - [`sdk`] — the client agent a customer embeds (sans-IO state machine);
@@ -36,6 +38,7 @@ pub mod profiles;
 pub mod proto;
 pub mod sdk;
 pub mod signaling;
+pub mod wire;
 pub mod world;
 
 pub use auth::{AccountRegistry, AuthError, CustomerAccount, PdnToken, TokenValidator};

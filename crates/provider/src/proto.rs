@@ -2,19 +2,26 @@
 //!
 //! Three planes, mirroring Figure 1 of the paper:
 //!
-//! 1. **Signaling** (peer ↔ PDN server): JSON messages inside a TLS-marked
+//! 1. **Signaling** (peer ↔ PDN server): messages inside a TLS-marked
 //!    envelope. A passive capture sees only that TLS flows to the PDN
 //!    server; the analyzer's MITM proxy (peer-side tap with a self-signed
-//!    root, per the threat model) reads and rewrites the JSON.
+//!    root, per the threat model) reads and rewrites the messages.
 //! 2. **HTTP** (peer ↔ CDN): binary request/response frames for manifests
 //!    and segments.
 //! 3. **P2P** (peer ↔ peer): compact binary messages that travel *inside*
 //!    DTLS data-channel records — request/offer/deliver segments, plus the
 //!    signed-integrity-metadata extension of the §V-B defense.
+//!
+//! The signaling and P2P hot paths encode via the versioned binary codec
+//! in [`crate::wire`] (varint-framed, zero-copy decode); the pre-binary
+//! JSON / fixed-width formats survive as [`crate::wire::json_baseline`]
+//! and both decoders here accept either format transparently.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use pdn_media::VideoId;
 use pdn_webrtc::SessionDescription;
+
+use crate::wire::{self, InternTable, WireMode};
 
 /// Marker prefix for TLS-protected signaling frames.
 pub const TLS_MARKER: &[u8; 4] = b"TLS|";
@@ -101,19 +108,23 @@ pub enum SignalMsg {
 }
 
 impl SignalMsg {
-    /// Encodes into a TLS-marked signaling frame.
+    /// Encodes into a TLS-marked signaling frame using the codec selected
+    /// by [`crate::wire::set_wire_mode`] (binary by default).
     pub fn encode(&self) -> Bytes {
-        let json = serde_json::to_vec(self).expect("signal messages serialize");
-        let mut out = BytesMut::with_capacity(4 + json.len());
-        out.put_slice(TLS_MARKER);
-        out.put_slice(&json);
-        out.freeze()
+        match wire::wire_mode() {
+            WireMode::Binary => wire::encode_signal(self),
+            WireMode::JsonBaseline => wire::json_baseline::encode_signal(self),
+        }
     }
 
-    /// Decodes a TLS-marked signaling frame.
+    /// Decodes a TLS-marked signaling frame — binary or JSON baseline,
+    /// distinguished by the version byte after the marker.
     pub fn decode(frame: &[u8]) -> Option<SignalMsg> {
-        let body = frame.strip_prefix(TLS_MARKER.as_slice())?;
-        serde_json::from_slice(body).ok()
+        if frame.get(4) == Some(&wire::SIGNAL_BIN_VERSION) {
+            wire::decode_signal(frame)
+        } else {
+            wire::json_baseline::decode_signal(frame)
+        }
     }
 
     /// Whether `frame` is a signaling frame (without decoding it) — what a
@@ -183,7 +194,7 @@ fn put_str(out: &mut BytesMut, s: &str) {
     out.put_slice(s.as_bytes());
 }
 
-fn take_str(data: &[u8], off: &mut usize) -> Option<String> {
+fn take_str<'a>(data: &'a [u8], off: &mut usize) -> Option<&'a str> {
     if *off + 2 > data.len() {
         return None;
     }
@@ -192,7 +203,7 @@ fn take_str(data: &[u8], off: &mut usize) -> Option<String> {
     if *off + len > data.len() {
         return None;
     }
-    let s = String::from_utf8(data[*off..*off + len].to_vec()).ok()?;
+    let s = std::str::from_utf8(&data[*off..*off + len]).ok()?;
     *off += len;
     Some(s)
 }
@@ -314,8 +325,9 @@ impl HttpResponse {
         out.freeze()
     }
 
-    /// Decodes an HTTP-marked response frame.
-    pub fn decode(frame: &[u8]) -> Option<HttpResponse> {
+    /// Decodes an HTTP-marked response frame. Takes the whole datagram as
+    /// [`Bytes`] so a segment body decodes as a zero-copy slice of it.
+    pub fn decode(frame: &Bytes) -> Option<HttpResponse> {
         let body = frame.strip_prefix(HTTP_MARKER.as_slice())?;
         let mut off = 0usize;
         match take_u8(body, &mut off)? {
@@ -324,7 +336,7 @@ impl HttpResponse {
                 if off + len > body.len() {
                     return None;
                 }
-                let text = String::from_utf8(body[off..off + len].to_vec()).ok()?;
+                let text = std::str::from_utf8(&body[off..off + len]).ok()?.to_owned();
                 Some(HttpResponse::Playlist { text })
             }
             102 => {
@@ -336,12 +348,13 @@ impl HttpResponse {
                 if off + len > body.len() {
                     return None;
                 }
+                // `body` starts at byte 4 of `frame` (after "HTP|").
                 Some(HttpResponse::Segment {
                     video,
                     rendition,
                     seq,
                     duration_ms,
-                    data: Bytes::copy_from_slice(&body[off..off + len]),
+                    data: frame.slice(4 + off..4 + off + len),
                 })
             }
             104 => Some(HttpResponse::NotFound),
@@ -390,117 +403,21 @@ pub enum P2pMsg {
 }
 
 impl P2pMsg {
-    /// Encodes to channel-message bytes.
+    /// Encodes to channel-message bytes using the codec selected by
+    /// [`crate::wire::set_wire_mode`]. The SDK hot path skips this owned
+    /// entry point entirely and encodes [`crate::wire::P2pRef`] views into
+    /// a reusable scratch with its per-channel intern table.
     pub fn encode(&self) -> Bytes {
-        let mut out = BytesMut::new();
-        match self {
-            P2pMsg::Have {
-                video,
-                rendition,
-                seqs,
-            } => {
-                out.put_u8(1);
-                put_str(&mut out, &video.0);
-                out.put_u8(*rendition);
-                out.put_u32(seqs.len() as u32);
-                for s in seqs {
-                    out.put_u64(*s);
-                }
-            }
-            P2pMsg::RequestSegment {
-                video,
-                rendition,
-                seq,
-            } => {
-                out.put_u8(2);
-                put_str(&mut out, &video.0);
-                out.put_u8(*rendition);
-                out.put_u64(*seq);
-            }
-            P2pMsg::SegmentData {
-                video,
-                rendition,
-                seq,
-                duration_ms,
-                data,
-                sim,
-            } => {
-                out.put_u8(3);
-                put_str(&mut out, &video.0);
-                out.put_u8(*rendition);
-                out.put_u64(*seq);
-                out.put_u32(*duration_ms);
-                match sim {
-                    Some((im, sig)) => {
-                        out.put_u8(1);
-                        out.put_slice(im);
-                        out.put_slice(sig);
-                    }
-                    None => out.put_u8(0),
-                }
-                out.put_u32(data.len() as u32);
-                out.put_slice(data);
-            }
+        match wire::wire_mode() {
+            WireMode::Binary => wire::encode_p2p(self, &InternTable::EMPTY),
+            WireMode::JsonBaseline => wire::json_baseline::encode_p2p(self),
         }
-        out.freeze()
     }
 
-    /// Decodes channel-message bytes.
-    pub fn decode(body: &[u8]) -> Option<P2pMsg> {
-        let mut off = 0usize;
-        match take_u8(body, &mut off)? {
-            1 => {
-                let video = VideoId::new(take_str(body, &mut off)?);
-                let rendition = take_u8(body, &mut off)?;
-                let n = take_u32(body, &mut off)? as usize;
-                let mut seqs = Vec::with_capacity(n.min(4096));
-                for _ in 0..n {
-                    seqs.push(take_u64(body, &mut off)?);
-                }
-                Some(P2pMsg::Have {
-                    video,
-                    rendition,
-                    seqs,
-                })
-            }
-            2 => Some(P2pMsg::RequestSegment {
-                video: VideoId::new(take_str(body, &mut off)?),
-                rendition: take_u8(body, &mut off)?,
-                seq: take_u64(body, &mut off)?,
-            }),
-            3 => {
-                let video = VideoId::new(take_str(body, &mut off)?);
-                let rendition = take_u8(body, &mut off)?;
-                let seq = take_u64(body, &mut off)?;
-                let duration_ms = take_u32(body, &mut off)?;
-                let sim = match take_u8(body, &mut off)? {
-                    1 => {
-                        if off + 64 > body.len() {
-                            return None;
-                        }
-                        let im: [u8; 32] = body[off..off + 32].try_into().ok()?;
-                        let sig: [u8; 32] = body[off + 32..off + 64].try_into().ok()?;
-                        off += 64;
-                        Some((im, sig))
-                    }
-                    0 => None,
-                    _ => return None,
-                };
-                let len = take_u32(body, &mut off)? as usize;
-                if off + len > body.len() {
-                    return None;
-                }
-                Some(P2pMsg::SegmentData {
-                    video,
-                    rendition,
-                    seq,
-                    duration_ms,
-                    data: Bytes::copy_from_slice(&body[off..off + len]),
-                    sim,
-                })
-            }
-            _ => None,
-        }
+    /// Decodes channel-message bytes (binary or legacy format); the
+    /// segment payload is a zero-copy slice of `frame`.
+    pub fn decode(frame: &Bytes) -> Option<P2pMsg> {
+        wire::decode_p2p(frame, &InternTable::EMPTY)
     }
 }
 
@@ -541,10 +458,11 @@ mod prop_tests {
             with_sim in any::<bool>(),
             data in proptest::collection::vec(any::<u8>(), 0..4096),
         ) {
-            let have = P2pMsg::Have { video: VideoId::new(video.clone()), rendition, seqs };
+            let vid = VideoId::new(video);
+            let have = P2pMsg::Have { video: vid.clone(), rendition, seqs };
             prop_assert_eq!(P2pMsg::decode(&have.encode()), Some(have));
             let seg = P2pMsg::SegmentData {
-                video: VideoId::new(video), rendition, seq: 9, duration_ms: 4000,
+                video: vid, rendition, seq: 9, duration_ms: 4000,
                 data: Bytes::from(data),
                 sim: with_sim.then_some(([1u8; 32], [2u8; 32])),
             };
@@ -556,8 +474,9 @@ mod prop_tests {
         fn decoders_are_total(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
             let _ = SignalMsg::decode(&garbage);
             let _ = HttpRequest::decode(&garbage);
-            let _ = HttpResponse::decode(&garbage);
-            let _ = P2pMsg::decode(&garbage);
+            let frame = Bytes::from(garbage);
+            let _ = HttpResponse::decode(&frame);
+            let _ = P2pMsg::decode(&frame);
         }
     }
 }
@@ -668,7 +587,7 @@ mod tests {
         };
         let enc = m.encode();
         for cut in [1, 5, 10, enc.len() - 1] {
-            assert!(P2pMsg::decode(&enc[..cut]).is_none(), "cut at {cut}");
+            assert!(P2pMsg::decode(&enc.slice(..cut)).is_none(), "cut at {cut}");
         }
         assert!(HttpRequest::decode(
             &HttpRequest::GetMaster {

@@ -23,7 +23,7 @@
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 use pdn_media::{DeliverySource, MediaPlaylist, Player, Segment, SegmentId, VideoId};
 use pdn_simnet::{Addr, SimRng, SimTime};
 use pdn_webrtc::{
@@ -32,6 +32,7 @@ use pdn_webrtc::{
 
 use crate::proto::{HttpRequest, HttpResponse, P2pMsg, SignalMsg};
 use crate::signaling::compute_im;
+use crate::wire::{self, InternTable, P2pRef, P2pView, WireMode};
 
 /// Well-known local ports of a peer.
 pub mod ports {
@@ -157,6 +158,15 @@ pub enum AgentOut {
         /// Payload (STUN or DTLS bytes).
         data: Bytes,
     },
+    /// Send several datagrams to the same destination from the media port
+    /// (one multi-record channel message); the simnet delivers them as a
+    /// batch, resolving the route once.
+    UdpBurst {
+        /// Destination.
+        to: Addr,
+        /// The DTLS records, in order.
+        frames: Vec<Bytes>,
+    },
     /// Charge CPU time to this node's resource model.
     ChargeCpu(Duration),
     /// Allocate resident memory.
@@ -255,6 +265,13 @@ pub struct PdnAgent {
     blacklisted: bool,
     started_playback_charging: bool,
     last_playlist_fetch: SimTime,
+    /// Reusable encode scratch for outgoing P2P frames (the PR 3
+    /// `seal_into` pattern): zero allocations per message steady-state.
+    wire_scratch: BytesMut,
+    /// Deterministic intern table for P2P frames, seeded with this agent's
+    /// own video id at construction (both ends of any data channel watch
+    /// the same video, so the tables always agree; see [`crate::wire`]).
+    intern: InternTable,
 }
 
 impl std::fmt::Debug for PdnAgent {
@@ -273,6 +290,8 @@ impl PdnAgent {
     pub fn new(config: AgentConfig, host_addr: Addr, stun_server: Addr, rng: &mut SimRng) -> Self {
         let mut rng = rng.fork(u32::from(host_addr.ip) as u64);
         let config_rendition = config.rendition;
+        let mut intern = InternTable::new();
+        intern.intern(&config.video.0);
         let cert = Certificate::generate(&mut rng);
         let mut gatherer = IceAgent::new(ports::MEDIA, &mut rng);
         if config.relay.is_none() {
@@ -315,6 +334,8 @@ impl PdnAgent {
             blacklisted: false,
             started_playback_charging: false,
             last_playlist_fetch: SimTime::ZERO,
+            wire_scratch: BytesMut::with_capacity(256),
+            intern,
             rng,
         }
     }
@@ -996,10 +1017,8 @@ impl PdnAgent {
                 conn.chan = Some(chan);
                 out.extend(self.flush_conn(idx, now));
                 if let Some(bytes) = msg {
-                    if let Some(msg) = P2pMsg::decode(&bytes) {
-                        let remote_peer = self.conns[idx].remote_peer;
-                        out.extend(self.on_p2p(remote_peer, msg, now));
-                    }
+                    let remote_peer = self.conns[idx].remote_peer;
+                    out.extend(self.on_p2p_frame(remote_peer, &bytes, now));
                 }
                 return out;
             }
@@ -1023,14 +1042,13 @@ impl PdnAgent {
         // Data phase.
         let chan = conn.chan.as_mut().expect("data phase");
         out.push(AgentOut::ChargeCpu(crypto_cost(data.len())));
-        let msg = match chan.receive_record(data) {
-            Ok(Some(bytes)) => P2pMsg::decode(&bytes),
-            Ok(None) => None,
-            Err(_) => None,
+        let bytes = match chan.receive_record(data) {
+            Ok(Some(bytes)) => Some(bytes),
+            Ok(None) | Err(_) => None,
         };
-        if let Some(msg) = msg {
+        if let Some(bytes) = bytes {
             let remote_peer = conn.remote_peer;
-            out.extend(self.on_p2p(remote_peer, msg, now));
+            out.extend(self.on_p2p_frame(remote_peer, &bytes, now));
         }
         out
     }
@@ -1046,96 +1064,85 @@ impl PdnAgent {
                 .or_default()
                 .push(seg.id.seq);
         }
-        let mut to_send = std::mem::take(&mut self.conns[idx].queued);
-        for (rendition, mut seqs) in by_rendition.into_iter().rev() {
+        let queued = std::mem::take(&mut self.conns[idx].queued);
+        let PdnAgent {
+            conns,
+            wire_scratch,
+            intern,
+            rng,
+            config,
+            p2p_up,
+            ..
+        } = self;
+        let conn = &mut conns[idx];
+        for (rendition, mut seqs) in by_rendition {
             seqs.sort_unstable();
-            to_send.insert(
-                0,
-                P2pMsg::Have {
-                    video: self.config.video.clone(),
+            P2pTx {
+                conn,
+                scratch: wire_scratch,
+                intern,
+                relay: config.relay,
+                rng,
+                p2p_up,
+            }
+            .send(
+                &P2pRef::Have {
+                    video: &config.video.0,
                     rendition,
-                    seqs,
+                    seqs: &seqs,
                 },
+                &mut out,
             );
         }
-        for msg in to_send {
-            out.extend(self.send_p2p(idx, &msg));
-        }
-        out
-    }
-
-    fn send_p2p(&mut self, idx: usize, msg: &P2pMsg) -> Vec<AgentOut> {
-        let bytes = msg.encode();
-        let (remote, records) = {
-            let conn = &mut self.conns[idx];
-            let Some(remote) = conn.remote_media else {
-                conn.queued.push(msg.clone());
-                return Vec::new();
-            };
-            let Some(chan) = conn.chan.as_mut() else {
-                conn.queued.push(msg.clone());
-                return Vec::new();
-            };
-            match chan.send_message(&bytes) {
-                Ok(records) => (remote, records),
-                Err(_) => return Vec::new(),
+        for msg in &queued {
+            P2pTx {
+                conn,
+                scratch: wire_scratch,
+                intern,
+                relay: config.relay,
+                rng,
+                p2p_up,
             }
-        };
-        if let P2pMsg::SegmentData { data, .. } = msg {
-            self.p2p_up += data.len() as u64;
-        }
-        let mut out = vec![AgentOut::ChargeCpu(crypto_cost(bytes.len()))];
-        for r in records {
-            let action = self.udp_out(remote, r);
-            out.push(action);
+            .send(&P2pRef::from(msg), &mut out);
         }
         out
     }
 
-    fn on_p2p(&mut self, from_peer: u64, msg: P2pMsg, now: SimTime) -> Vec<AgentOut> {
-        match msg {
-            P2pMsg::Have {
+    /// Handles one P2P frame from an established channel. Decoding borrows
+    /// from the frame: the video id is checked against the intern table
+    /// without materialising a `String`, HAVE sequence numbers stream
+    /// straight off the wire, and a delivered segment's payload is a
+    /// zero-copy slice of the record.
+    fn on_p2p_frame(&mut self, from_peer: u64, frame: &Bytes, now: SimTime) -> Vec<AgentOut> {
+        let Some(view) = wire::decode_p2p_view(frame) else {
+            return Vec::new();
+        };
+        match view {
+            P2pView::Have {
                 video,
                 rendition,
                 seqs,
             } => {
-                if video == self.config.video {
+                if video.matches(&self.intern, &self.config.video.0) {
                     self.have_map
                         .entry(from_peer)
                         .or_default()
-                        .extend(seqs.into_iter().map(|s| (rendition, s)));
+                        .extend(seqs.map(|s| (rendition, s)));
                 }
                 Vec::new()
             }
-            P2pMsg::RequestSegment {
+            P2pView::RequestSegment {
                 video,
                 rendition,
                 seq,
             } => {
-                if !self.config.upload_enabled || video != self.config.video {
+                if !self.config.upload_enabled || !video.matches(&self.intern, &self.config.video.0)
+                {
                     return Vec::new();
                 }
-                let Some(segment) = self.cache.get(&seq).cloned() else {
-                    return Vec::new();
-                };
-                if segment.id.rendition != rendition {
-                    return Vec::new();
-                }
-                let Some(idx) = self.conns.iter().position(|c| c.remote_peer == from_peer) else {
-                    return Vec::new();
-                };
-                let sim = self.sims.get(&(segment.id.rendition, seq)).copied();
-                let msg = P2pMsg::SegmentData {
-                    video,
-                    rendition,
-                    seq,
-                    duration_ms: segment.duration.as_millis() as u32,
-                    data: segment.data.clone(),
-                    sim,
-                };
-                self.send_p2p(idx, &msg)
+                self.reply_segment(from_peer, rendition, seq)
             }
-            P2pMsg::SegmentData {
+            P2pView::SegmentData {
                 video,
                 rendition,
                 seq,
@@ -1143,47 +1150,106 @@ impl PdnAgent {
                 data,
                 sim,
             } => {
-                if video != self.config.video {
+                if !video.matches(&self.intern, &self.config.video.0) {
                     return Vec::new();
                 }
-                if let Some((RequestVia::Peer(_), at)) = self.requested.remove(&seq) {
-                    // Request→delivery latency; with the §V-B defense the
-                    // IM calculation (sender) and verification (receiver)
-                    // add their hash time on top (Table VI's latency).
-                    let mut lat = now.saturating_since(at);
-                    if self.config.integrity_check {
-                        lat += hash_cost(data.len()) * 2;
-                    }
-                    self.p2p_latencies.push(lat);
-                }
-                self.p2p_down += data.len() as u64;
-                let segment = Segment {
-                    id: SegmentId {
-                        video,
-                        rendition,
-                        seq,
-                    },
-                    duration: Duration::from_millis(duration_ms as u64),
-                    data,
-                };
-                if let Some((im, sig)) = sim {
-                    self.sims.entry((rendition, seq)).or_insert((im, sig));
-                }
-                if self.config.integrity_check {
-                    if self.sims.contains_key(&(rendition, seq)) {
-                        self.verify_and_accept_peer_segment(segment, now)
-                    } else {
-                        // Hold until the SIM arrives; the tick handler
-                        // falls back to the CDN if none forms in time.
-                        self.held.insert(seq, (segment, now));
-                        Vec::new()
-                    }
-                } else {
-                    // The measured behaviour of every provider: accept
-                    // whatever the peer sent (the pollution vulnerability).
-                    self.accept_segment(segment, DeliverySource::Peer, now)
-                }
+                self.on_segment_data(rendition, seq, duration_ms, data, sim, now)
             }
+        }
+    }
+
+    /// Serves a cached segment to a requesting neighbor; the payload is
+    /// borrowed all the way into the encode scratch (no segment clone).
+    fn reply_segment(&mut self, from_peer: u64, rendition: u8, seq: u64) -> Vec<AgentOut> {
+        let Some(segment) = self.cache.get(&seq) else {
+            return Vec::new();
+        };
+        if segment.id.rendition != rendition {
+            return Vec::new();
+        }
+        let Some(idx) = self.conns.iter().position(|c| c.remote_peer == from_peer) else {
+            return Vec::new();
+        };
+        let duration_ms = segment.duration.as_millis() as u32;
+        let data = segment.data.clone();
+        let sim = self.sims.get(&(rendition, seq)).copied();
+        let mut out = Vec::new();
+        let PdnAgent {
+            conns,
+            wire_scratch,
+            intern,
+            rng,
+            config,
+            p2p_up,
+            ..
+        } = self;
+        P2pTx {
+            conn: &mut conns[idx],
+            scratch: wire_scratch,
+            intern,
+            relay: config.relay,
+            rng,
+            p2p_up,
+        }
+        .send(
+            &P2pRef::SegmentData {
+                video: &config.video.0,
+                rendition,
+                seq,
+                duration_ms,
+                data: &data,
+                sim,
+            },
+            &mut out,
+        );
+        out
+    }
+
+    fn on_segment_data(
+        &mut self,
+        rendition: u8,
+        seq: u64,
+        duration_ms: u32,
+        data: Bytes,
+        sim: Option<([u8; 32], [u8; 32])>,
+        now: SimTime,
+    ) -> Vec<AgentOut> {
+        if let Some((RequestVia::Peer(_), at)) = self.requested.remove(&seq) {
+            // Request→delivery latency; with the §V-B defense the
+            // IM calculation (sender) and verification (receiver)
+            // add their hash time on top (Table VI's latency).
+            let mut lat = now.saturating_since(at);
+            if self.config.integrity_check {
+                lat += hash_cost(data.len()) * 2;
+            }
+            self.p2p_latencies.push(lat);
+        }
+        self.p2p_down += data.len() as u64;
+        let segment = Segment {
+            id: SegmentId {
+                video: self.config.video.clone(),
+                rendition,
+                seq,
+            },
+            duration: Duration::from_millis(duration_ms as u64),
+            data,
+        };
+        if let Some((im, sig)) = sim {
+            self.sims.entry((rendition, seq)).or_insert((im, sig));
+        }
+        if self.config.integrity_check {
+            if self.sims.contains_key(&(rendition, seq)) {
+                self.verify_and_accept_peer_segment(segment, now)
+            } else {
+                // Hold until the SIM arrives; the tick handler
+                // falls back to the CDN if none forms in time.
+                self.held.insert(seq, (segment, now));
+                Vec::new()
+            }
+        } else {
+            // The measured behaviour of every provider: accept
+            // whatever the peer sent (the pollution vulnerability).
+            self.accept_segment(segment, DeliverySource::Peer, now)
         }
     }
 
@@ -1240,21 +1306,35 @@ impl PdnAgent {
             if !self.config.upload_enabled {
                 return out;
             }
-            // Advertise to established neighbors.
-            let have = P2pMsg::Have {
-                video: self.config.video.clone(),
-                rendition: segment_rendition,
-                seqs: vec![seq],
-            };
-            let established: Vec<usize> = self
-                .conns
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.is_established())
-                .map(|(i, _)| i)
-                .collect();
-            for i in established {
-                out.extend(self.send_p2p(i, &have));
+            // Advertise to established neighbors (no video clone: the
+            // HAVE borrows the config's id, interned to one byte).
+            let seqs = [seq];
+            let PdnAgent {
+                conns,
+                wire_scratch,
+                intern,
+                rng,
+                config,
+                p2p_up,
+                ..
+            } = self;
+            for conn in conns.iter_mut().filter(|c| c.is_established()) {
+                P2pTx {
+                    conn,
+                    scratch: wire_scratch,
+                    intern,
+                    relay: config.relay,
+                    rng,
+                    p2p_up,
+                }
+                .send(
+                    &P2pRef::Have {
+                        video: &config.video.0,
+                        rendition: segment_rendition,
+                        seqs: &seqs,
+                    },
+                    &mut out,
+                );
             }
         }
         out
@@ -1301,17 +1381,35 @@ impl PdnAgent {
                 Some(peer) => {
                     self.first_wanted.remove(&seq);
                     self.requested.insert(seq, (RequestVia::Peer(peer), now));
-                    let idx = self
-                        .conns
+                    let PdnAgent {
+                        conns,
+                        wire_scratch,
+                        intern,
+                        rng,
+                        config,
+                        p2p_up,
+                        ..
+                    } = &mut *self;
+                    let idx = conns
                         .iter()
                         .position(|c| c.remote_peer == peer)
                         .expect("holder is connected");
-                    let req = P2pMsg::RequestSegment {
-                        video: self.config.video.clone(),
-                        rendition,
-                        seq,
-                    };
-                    out.extend(self.send_p2p(idx, &req));
+                    P2pTx {
+                        conn: &mut conns[idx],
+                        scratch: wire_scratch,
+                        intern,
+                        relay: config.relay,
+                        rng,
+                        p2p_up,
+                    }
+                    .send(
+                        &P2pRef::RequestSegment {
+                            video: &config.video.0,
+                            rendition,
+                            seq,
+                        },
+                        &mut out,
+                    );
                 }
                 None => {
                     // P2P patience: with live neighbors connected, wait a
@@ -1360,17 +1458,103 @@ impl PdnAgent {
     /// Emits a media-plane send, wrapping it in a TURN Send indication when
     /// the provider relays P2P traffic (§V-C).
     fn udp_out(&mut self, to: Addr, data: Bytes) -> AgentOut {
-        match self.config.relay {
-            Some(turn) => {
-                let mut txid = [0u8; 12];
-                txid[..8].copy_from_slice(&self.rng.next_u64().to_le_bytes());
-                AgentOut::UdpSend {
-                    to: turn,
-                    data: pdn_webrtc::turn::send_indication(txid, to, data),
-                }
+        media_out(self.config.relay, &mut self.rng, to, data)
+    }
+}
+
+/// The disjoint borrows of [`PdnAgent`] the P2P send path needs. Built by
+/// destructuring `&mut self`, which lets the message borrow *other* agent
+/// fields (the config's video id, a cached segment's payload) while the
+/// scratch and connection are mutated.
+struct P2pTx<'a> {
+    conn: &'a mut Conn,
+    scratch: &'a mut BytesMut,
+    intern: &'a InternTable,
+    relay: Option<Addr>,
+    rng: &'a mut SimRng,
+    p2p_up: &'a mut u64,
+}
+
+impl P2pTx<'_> {
+    /// Encodes `msg` into the reused scratch and frames it onto the
+    /// channel; multi-record messages leave as one [`AgentOut::UdpBurst`].
+    /// Queues an owned copy if the channel is not established yet.
+    fn send(&mut self, msg: &P2pRef<'_>, out: &mut Vec<AgentOut>) {
+        let Some(remote) = self.conn.remote_media else {
+            self.conn.queued.push(msg.to_owned_msg());
+            return;
+        };
+        let Some(chan) = self.conn.chan.as_mut() else {
+            self.conn.queued.push(msg.to_owned_msg());
+            return;
+        };
+        self.scratch.clear();
+        match wire::wire_mode() {
+            WireMode::Binary => wire::encode_p2p_into(msg, self.intern, self.scratch),
+            WireMode::JsonBaseline => {
+                let frame = wire::json_baseline::encode_p2p(&msg.to_owned_msg());
+                self.scratch.put_slice(&frame);
             }
-            None => AgentOut::UdpSend { to, data },
         }
+        let records = match chan.send_message(&self.scratch[..]) {
+            Ok(records) => records,
+            Err(_) => return,
+        };
+        if let P2pRef::SegmentData { data, .. } = msg {
+            *self.p2p_up += data.len() as u64;
+        }
+        out.push(AgentOut::ChargeCpu(crypto_cost(self.scratch.len())));
+        push_media_records(self.relay, self.rng, remote, records, out);
+    }
+}
+
+/// One media-plane datagram, TURN-wrapped when the provider relays.
+fn media_out(relay: Option<Addr>, rng: &mut SimRng, to: Addr, data: Bytes) -> AgentOut {
+    match relay {
+        Some(turn) => {
+            let mut txid = [0u8; 12];
+            txid[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+            AgentOut::UdpSend {
+                to: turn,
+                data: pdn_webrtc::turn::send_indication(txid, to, data),
+            }
+        }
+        None => AgentOut::UdpSend { to, data },
+    }
+}
+
+/// Emits DTLS records for one channel message: a single record stays an
+/// [`AgentOut::UdpSend`]; several become one [`AgentOut::UdpBurst`] so the
+/// simnet resolves the route once for the whole message.
+fn push_media_records(
+    relay: Option<Addr>,
+    rng: &mut SimRng,
+    to: Addr,
+    records: Vec<Bytes>,
+    out: &mut Vec<AgentOut>,
+) {
+    if records.len() <= 1 {
+        for r in records {
+            out.push(media_out(relay, rng, to, r));
+        }
+        return;
+    }
+    match relay {
+        Some(turn) => {
+            let frames = records
+                .into_iter()
+                .map(|r| {
+                    let mut txid = [0u8; 12];
+                    txid[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+                    pdn_webrtc::turn::send_indication(txid, to, r)
+                })
+                .collect();
+            out.push(AgentOut::UdpBurst { to: turn, frames });
+        }
+        None => out.push(AgentOut::UdpBurst {
+            to,
+            frames: records,
+        }),
     }
 }
 

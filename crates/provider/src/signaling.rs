@@ -228,6 +228,39 @@ impl SignalingServer {
         self.peers.values().map(|p| p.addr).collect()
     }
 
+    /// Decodes one signaling frame, handles it, and encodes the replies.
+    ///
+    /// This is the world harness's hot path. A broadcast (e.g. §V-B
+    /// [`SignalMsg::SimBroadcast`]) fans one identical message out to the
+    /// whole swarm, so a reply equal to the previous one reuses its encoded
+    /// frame — a refcount bump instead of a per-recipient re-encode.
+    pub fn handle_frame(
+        &mut self,
+        from: Addr,
+        frame: &bytes::Bytes,
+        now: SimTime,
+        geoip: &GeoIpService,
+    ) -> Vec<(Addr, bytes::Bytes)> {
+        let Some(msg) = SignalMsg::decode(frame) else {
+            return Vec::new();
+        };
+        let replies = self.handle(from, msg, now, geoip);
+        let mut out = Vec::with_capacity(replies.len());
+        let mut memo: Option<(SignalMsg, bytes::Bytes)> = None;
+        for (addr, reply) in replies {
+            let encoded = match &memo {
+                Some((prev, bytes)) if *prev == reply => bytes.clone(),
+                _ => {
+                    let bytes = reply.encode();
+                    memo = Some((reply, bytes.clone()));
+                    bytes
+                }
+            };
+            out.push((addr, encoded));
+        }
+        out
+    }
+
     /// Handles one signaling message; returns `(destination, reply)` pairs.
     pub fn handle(
         &mut self,

@@ -1,0 +1,1305 @@
+//! Versioned compact binary wire codec for the signaling and P2P planes.
+//!
+//! Every message the analyzer observes — joins, neighbor introductions,
+//! HAVE/REQUEST exchange, segment delivery, integrity broadcasts — used to
+//! round-trip through `serde_json` (signaling) or a fixed-width handwritten
+//! format (P2P) with a fresh allocation and a full payload copy per
+//! message. This module replaces both hot paths with a varint-framed binary
+//! codec that encodes into a reusable [`bytes::BytesMut`] scratch and
+//! decodes by *borrowing* from the incoming [`Bytes`] datagram: strings
+//! come back as `&str` views, sequence lists as an iterator over the frame,
+//! and segment payloads as zero-copy [`Bytes::slice`] handles.
+//!
+//! # Frame layouts
+//!
+//! Binary signaling frame (the `TLS|` marker is kept so passive-sniffer
+//! classification and plane opacity are unchanged):
+//!
+//! ```text
+//! +-----------+----------+-----+------------------------------------+
+//! | "TLS|"    | 0xB1     | tag | fields (varints, len-prefixed str) |
+//! | marker ×4 | version  | u8  |                                    |
+//! +-----------+----------+-----+------------------------------------+
+//! ```
+//!
+//! The version byte `0xB1` can never collide with the first byte of a JSON
+//! body (`{` = 0x7B), so [`crate::proto::SignalMsg::decode`] accepts both
+//! binary frames and [`json_baseline`] frames.
+//!
+//! Binary P2P frame (legacy frames started with the tag byte 1–3, so the
+//! `0xC1` version byte is unambiguous and the decoder accepts both):
+//!
+//! ```text
+//! +----------+-----+--------------+------------------------------+
+//! | 0xC1     | tag | video        | fields (varints; payload is  |
+//! | version  | u8  | str-field    | a trailing len-prefixed blob)|
+//! +----------+-----+--------------+------------------------------+
+//! ```
+//!
+//! # Intern-table semantics
+//!
+//! A P2P *str-field* starts with a varint discriminant: `0` means an inline
+//! literal follows (varint length + UTF-8 bytes); `n > 0` means slot `n-1`
+//! of the channel's [`InternTable`]. Tables are **deterministic and seeded
+//! out-of-band**: each agent interns its own swarm's video id at
+//! construction, and both ends of a data channel watch the same video
+//! because the signaling server only introduces same-swarm neighbors.
+//! Received frames never grow the table — UDP loss and reordering therefore
+//! cannot desynchronise the two ends, unlike HPACK-style dynamic tables.
+//! Peer ids need no table: they are varints and small by construction.
+//!
+//! The old codecs are preserved verbatim in [`json_baseline`]; differential
+//! proptests in this module assert binary↔baseline equivalence for every
+//! message variant, and [`set_wire_mode`] lets benchmarks re-run a whole
+//! world on the baseline codec to measure the end-to-end win.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use bytes::{BufMut, Bytes, BytesMut};
+use pdn_media::VideoId;
+use pdn_simnet::wire::{get_uvarint, put_uvarint};
+use pdn_simnet::Addr;
+use pdn_webrtc::{Candidate, CandidateKind, Fingerprint, SessionDescription};
+
+use crate::proto::{P2pMsg, SignalMsg, TLS_MARKER};
+
+/// Version byte of binary signaling frames (follows the `TLS|` marker).
+/// Distinct from `{` (0x7B), the first byte of every JSON baseline body.
+pub const SIGNAL_BIN_VERSION: u8 = 0xB1;
+
+/// Version byte of binary P2P frames. Legacy P2P frames begin with their
+/// tag byte (1–3), so this value identifies the format unambiguously.
+pub const P2P_BIN_VERSION: u8 = 0xC1;
+
+// ---------------------------------------------------------------------
+// Wire mode
+// ---------------------------------------------------------------------
+
+/// Which encoder the hot paths use. Decoders always accept both formats,
+/// so flipping the mode mid-simulation only changes what is *produced*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// The compact binary codec (default).
+    Binary,
+    /// The pre-binary codecs kept in [`json_baseline`] — used by
+    /// `wire_bench` to measure the end-to-end effect of the swap and to
+    /// check that world tables are byte-identical under either codec.
+    JsonBaseline,
+}
+
+static WIRE_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the encoder used by [`SignalMsg::encode`], [`P2pMsg::encode`]
+/// and the SDK send path. Benchmarks set this between runs; simulations
+/// must not flip it mid-world.
+pub fn set_wire_mode(mode: WireMode) {
+    WIRE_MODE.store(
+        match mode {
+            WireMode::Binary => 0,
+            WireMode::JsonBaseline => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The currently selected encoder.
+pub fn wire_mode() -> WireMode {
+    match WIRE_MODE.load(Ordering::Relaxed) {
+        0 => WireMode::Binary,
+        _ => WireMode::JsonBaseline,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Intern table
+// ---------------------------------------------------------------------
+
+/// Deterministic string intern table for P2P frames (see the
+/// [module docs](self) for the desynchronisation argument).
+#[derive(Debug, Clone, Default)]
+pub struct InternTable {
+    entries: Vec<String>,
+}
+
+impl InternTable {
+    /// A table with no entries; every str-field encodes inline.
+    pub const EMPTY: InternTable = InternTable {
+        entries: Vec::new(),
+    };
+
+    /// An empty table.
+    pub fn new() -> Self {
+        InternTable::default()
+    }
+
+    /// Adds `s` (deduplicating) and returns its slot.
+    pub fn intern(&mut self, s: &str) -> u16 {
+        if let Some(slot) = self.slot_of(s) {
+            return slot;
+        }
+        assert!(self.entries.len() < u16::MAX as usize, "intern table full");
+        self.entries.push(s.to_string());
+        (self.entries.len() - 1) as u16
+    }
+
+    /// Slot of `s`, if interned. Linear scan: tables hold a handful of ids.
+    pub fn slot_of(&self, s: &str) -> Option<u16> {
+        self.entries.iter().position(|e| e == s).map(|i| i as u16)
+    }
+
+    /// The string stored in `slot`.
+    pub fn resolve(&self, slot: u16) -> Option<&str> {
+        self.entries.get(slot as usize).map(String::as_str)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Field helpers
+// ---------------------------------------------------------------------
+
+/// A borrowed string field of a decoded P2P frame: either an inline
+/// literal view into the datagram or an intern-table slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrRef<'a> {
+    /// Literal bytes borrowed from the frame.
+    Inline(&'a str),
+    /// Slot into the receiver's [`InternTable`].
+    Slot(u16),
+}
+
+impl<'a> StrRef<'a> {
+    /// Whether this field denotes `other` under `table` — the hot-path
+    /// check (`video == config.video`) without materialising a `String`.
+    pub fn matches(&self, table: &InternTable, other: &str) -> bool {
+        match self {
+            StrRef::Inline(s) => *s == other,
+            StrRef::Slot(n) => table.resolve(*n) == Some(other),
+        }
+    }
+
+    /// Resolves to a `&str`, borrowing from the frame or the table.
+    pub fn resolve<'t: 'a>(&self, table: &'t InternTable) -> Option<&'a str> {
+        match self {
+            StrRef::Inline(s) => Some(s),
+            StrRef::Slot(n) => table.resolve(*n),
+        }
+    }
+}
+
+fn put_str_field<B: BufMut>(buf: &mut B, s: &str, table: &InternTable) {
+    match table.slot_of(s) {
+        Some(slot) => put_uvarint(buf, u64::from(slot) + 1),
+        None => {
+            put_uvarint(buf, 0);
+            put_inline_str(buf, s);
+        }
+    }
+}
+
+fn get_str_field<'a>(data: &'a [u8], off: &mut usize) -> Option<StrRef<'a>> {
+    match get_uvarint(data, off)? {
+        0 => Some(StrRef::Inline(get_inline_str(data, off)?)),
+        n => u16::try_from(n - 1).ok().map(StrRef::Slot),
+    }
+}
+
+fn put_inline_str<B: BufMut>(buf: &mut B, s: &str) {
+    put_uvarint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_inline_str<'a>(data: &'a [u8], off: &mut usize) -> Option<&'a str> {
+    let len = usize::try_from(get_uvarint(data, off)?).ok()?;
+    let end = off.checked_add(len)?;
+    if end > data.len() {
+        return None;
+    }
+    let s = std::str::from_utf8(&data[*off..end]).ok()?;
+    *off = end;
+    Some(s)
+}
+
+fn put_opt_str<B: BufMut>(buf: &mut B, s: Option<&str>) {
+    match s {
+        Some(s) => {
+            buf.put_u8(1);
+            put_inline_str(buf, s);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn get_opt_str(data: &[u8], off: &mut usize) -> Option<Option<String>> {
+    match get_u8(data, off)? {
+        0 => Some(None),
+        1 => Some(Some(get_inline_str(data, off)?.to_owned())),
+        _ => None,
+    }
+}
+
+fn get_u8(data: &[u8], off: &mut usize) -> Option<u8> {
+    let b = *data.get(*off)?;
+    *off += 1;
+    Some(b)
+}
+
+fn get_array<const N: usize>(data: &[u8], off: &mut usize) -> Option<[u8; N]> {
+    let end = off.checked_add(N)?;
+    let arr: [u8; N] = data.get(*off..end)?.try_into().ok()?;
+    *off = end;
+    Some(arr)
+}
+
+fn put_sdp<B: BufMut>(buf: &mut B, sdp: &SessionDescription) {
+    put_inline_str(buf, &sdp.ice_ufrag);
+    put_inline_str(buf, &sdp.ice_pwd);
+    buf.put_slice(&sdp.fingerprint.0);
+    put_uvarint(buf, sdp.candidates.len() as u64);
+    for c in &sdp.candidates {
+        buf.put_u8(match c.kind {
+            CandidateKind::Relay => 0,
+            CandidateKind::ServerReflexive => 1,
+            CandidateKind::Host => 2,
+        });
+        buf.put_slice(&c.addr.ip.octets());
+        buf.put_u16(c.addr.port);
+        put_uvarint(buf, u64::from(c.priority));
+    }
+}
+
+fn get_sdp(data: &[u8], off: &mut usize) -> Option<SessionDescription> {
+    let ice_ufrag = get_inline_str(data, off)?.to_owned();
+    let ice_pwd = get_inline_str(data, off)?.to_owned();
+    let fingerprint = Fingerprint(get_array::<32>(data, off)?);
+    let n = usize::try_from(get_uvarint(data, off)?).ok()?;
+    let mut candidates = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let kind = match get_u8(data, off)? {
+            0 => CandidateKind::Relay,
+            1 => CandidateKind::ServerReflexive,
+            2 => CandidateKind::Host,
+            _ => return None,
+        };
+        let ip = get_array::<4>(data, off)?;
+        let port = u16::from_be_bytes(get_array::<2>(data, off)?);
+        let priority = u32::try_from(get_uvarint(data, off)?).ok()?;
+        candidates.push(Candidate {
+            kind,
+            addr: Addr::new(ip[0], ip[1], ip[2], ip[3], port),
+            priority,
+        });
+    }
+    Some(SessionDescription {
+        ice_ufrag,
+        ice_pwd,
+        fingerprint,
+        candidates,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Signaling codec
+// ---------------------------------------------------------------------
+
+const SIG_JOIN: u8 = 1;
+const SIG_JOIN_OK: u8 = 2;
+const SIG_JOIN_DENIED: u8 = 3;
+const SIG_PEER_JOINED: u8 = 4;
+const SIG_STATS: u8 = 5;
+const SIG_IM_REPORT: u8 = 6;
+const SIG_SIM_BROADCAST: u8 = 7;
+const SIG_BLACKLISTED: u8 = 8;
+const SIG_LEAVE: u8 = 9;
+
+/// Encodes a signaling message in the binary format, appending to `out`.
+/// Allocation-free once `out` has warmed to the message size.
+pub fn encode_signal_into(msg: &SignalMsg, out: &mut BytesMut) {
+    out.put_slice(TLS_MARKER);
+    out.put_u8(SIGNAL_BIN_VERSION);
+    match msg {
+        SignalMsg::Join {
+            api_key,
+            token,
+            origin,
+            video,
+            manifest_hash,
+            sdp,
+        } => {
+            out.put_u8(SIG_JOIN);
+            put_opt_str(out, api_key.as_deref());
+            put_opt_str(out, token.as_deref());
+            put_inline_str(out, origin);
+            put_inline_str(out, video);
+            put_inline_str(out, manifest_hash);
+            put_sdp(out, sdp);
+        }
+        SignalMsg::JoinOk { peer_id, neighbors } => {
+            out.put_u8(SIG_JOIN_OK);
+            put_uvarint(out, *peer_id);
+            put_uvarint(out, neighbors.len() as u64);
+            for (id, sdp) in neighbors {
+                put_uvarint(out, *id);
+                put_sdp(out, sdp);
+            }
+        }
+        SignalMsg::JoinDenied { reason } => {
+            out.put_u8(SIG_JOIN_DENIED);
+            put_inline_str(out, reason);
+        }
+        SignalMsg::PeerJoined { peer_id, sdp } => {
+            out.put_u8(SIG_PEER_JOINED);
+            put_uvarint(out, *peer_id);
+            put_sdp(out, sdp);
+        }
+        SignalMsg::StatsReport {
+            p2p_up_bytes,
+            p2p_down_bytes,
+        } => {
+            out.put_u8(SIG_STATS);
+            put_uvarint(out, *p2p_up_bytes);
+            put_uvarint(out, *p2p_down_bytes);
+        }
+        SignalMsg::ImReport {
+            video,
+            rendition,
+            seq,
+            im,
+        } => {
+            out.put_u8(SIG_IM_REPORT);
+            put_inline_str(out, video);
+            out.put_u8(*rendition);
+            put_uvarint(out, *seq);
+            put_inline_str(out, im);
+        }
+        SignalMsg::SimBroadcast {
+            video,
+            rendition,
+            seq,
+            im,
+            sig,
+        } => {
+            out.put_u8(SIG_SIM_BROADCAST);
+            put_inline_str(out, video);
+            out.put_u8(*rendition);
+            put_uvarint(out, *seq);
+            put_inline_str(out, im);
+            put_inline_str(out, sig);
+        }
+        SignalMsg::Blacklisted { reason } => {
+            out.put_u8(SIG_BLACKLISTED);
+            put_inline_str(out, reason);
+        }
+        SignalMsg::Leave => {
+            out.put_u8(SIG_LEAVE);
+        }
+    }
+}
+
+/// Encodes a signaling message into a fresh binary frame.
+pub fn encode_signal(msg: &SignalMsg) -> Bytes {
+    let mut out = BytesMut::with_capacity(64);
+    encode_signal_into(msg, &mut out);
+    out.freeze()
+}
+
+/// Decodes a binary signaling frame (marker + version + tag + fields).
+/// Returns `None` for JSON-baseline frames; use
+/// [`crate::proto::SignalMsg::decode`] to accept both.
+pub fn decode_signal(frame: &[u8]) -> Option<SignalMsg> {
+    let body = frame.strip_prefix(TLS_MARKER.as_slice())?;
+    let mut off = 0usize;
+    if get_u8(body, &mut off)? != SIGNAL_BIN_VERSION {
+        return None;
+    }
+    match get_u8(body, &mut off)? {
+        SIG_JOIN => Some(SignalMsg::Join {
+            api_key: get_opt_str(body, &mut off)?,
+            token: get_opt_str(body, &mut off)?,
+            origin: get_inline_str(body, &mut off)?.to_owned(),
+            video: get_inline_str(body, &mut off)?.to_owned(),
+            manifest_hash: get_inline_str(body, &mut off)?.to_owned(),
+            sdp: get_sdp(body, &mut off)?,
+        }),
+        SIG_JOIN_OK => {
+            let peer_id = get_uvarint(body, &mut off)?;
+            let n = usize::try_from(get_uvarint(body, &mut off)?).ok()?;
+            let mut neighbors = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                let id = get_uvarint(body, &mut off)?;
+                neighbors.push((id, get_sdp(body, &mut off)?));
+            }
+            Some(SignalMsg::JoinOk { peer_id, neighbors })
+        }
+        SIG_JOIN_DENIED => Some(SignalMsg::JoinDenied {
+            reason: get_inline_str(body, &mut off)?.to_owned(),
+        }),
+        SIG_PEER_JOINED => Some(SignalMsg::PeerJoined {
+            peer_id: get_uvarint(body, &mut off)?,
+            sdp: get_sdp(body, &mut off)?,
+        }),
+        SIG_STATS => Some(SignalMsg::StatsReport {
+            p2p_up_bytes: get_uvarint(body, &mut off)?,
+            p2p_down_bytes: get_uvarint(body, &mut off)?,
+        }),
+        SIG_IM_REPORT => Some(SignalMsg::ImReport {
+            video: get_inline_str(body, &mut off)?.to_owned(),
+            rendition: get_u8(body, &mut off)?,
+            seq: get_uvarint(body, &mut off)?,
+            im: get_inline_str(body, &mut off)?.to_owned(),
+        }),
+        SIG_SIM_BROADCAST => Some(SignalMsg::SimBroadcast {
+            video: get_inline_str(body, &mut off)?.to_owned(),
+            rendition: get_u8(body, &mut off)?,
+            seq: get_uvarint(body, &mut off)?,
+            im: get_inline_str(body, &mut off)?.to_owned(),
+            sig: get_inline_str(body, &mut off)?.to_owned(),
+        }),
+        SIG_BLACKLISTED => Some(SignalMsg::Blacklisted {
+            reason: get_inline_str(body, &mut off)?.to_owned(),
+        }),
+        SIG_LEAVE => Some(SignalMsg::Leave),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// P2P codec
+// ---------------------------------------------------------------------
+
+const P2P_HAVE: u8 = 1;
+const P2P_REQUEST: u8 = 2;
+const P2P_SEGMENT: u8 = 3;
+
+/// Borrowed form of [`P2pMsg`]: what the SDK hot path encodes without
+/// cloning video ids, sequence lists, or segment payloads.
+#[derive(Debug, Clone, Copy)]
+pub enum P2pRef<'a> {
+    /// Advertise possession of segments.
+    Have {
+        /// Video id.
+        video: &'a str,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence numbers held.
+        seqs: &'a [u64],
+    },
+    /// Request one segment.
+    RequestSegment {
+        /// Video id.
+        video: &'a str,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence.
+        seq: u64,
+    },
+    /// Deliver one segment.
+    SegmentData {
+        /// Video id.
+        video: &'a str,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence.
+        seq: u64,
+        /// Play duration in milliseconds.
+        duration_ms: u32,
+        /// Media payload.
+        data: &'a Bytes,
+        /// `(im, server_sig)` if SIM is attached.
+        sim: Option<([u8; 32], [u8; 32])>,
+    },
+}
+
+impl<'a> From<&'a P2pMsg> for P2pRef<'a> {
+    fn from(msg: &'a P2pMsg) -> Self {
+        match msg {
+            P2pMsg::Have {
+                video,
+                rendition,
+                seqs,
+            } => P2pRef::Have {
+                video: &video.0,
+                rendition: *rendition,
+                seqs,
+            },
+            P2pMsg::RequestSegment {
+                video,
+                rendition,
+                seq,
+            } => P2pRef::RequestSegment {
+                video: &video.0,
+                rendition: *rendition,
+                seq: *seq,
+            },
+            P2pMsg::SegmentData {
+                video,
+                rendition,
+                seq,
+                duration_ms,
+                data,
+                sim,
+            } => P2pRef::SegmentData {
+                video: &video.0,
+                rendition: *rendition,
+                seq: *seq,
+                duration_ms: *duration_ms,
+                data,
+                sim: *sim,
+            },
+        }
+    }
+}
+
+impl P2pRef<'_> {
+    /// Clones into an owned [`P2pMsg`] (only the rare queued-send path
+    /// pays this).
+    pub fn to_owned_msg(&self) -> P2pMsg {
+        match *self {
+            P2pRef::Have {
+                video,
+                rendition,
+                seqs,
+            } => P2pMsg::Have {
+                video: VideoId::new(video),
+                rendition,
+                seqs: seqs.to_vec(),
+            },
+            P2pRef::RequestSegment {
+                video,
+                rendition,
+                seq,
+            } => P2pMsg::RequestSegment {
+                video: VideoId::new(video),
+                rendition,
+                seq,
+            },
+            P2pRef::SegmentData {
+                video,
+                rendition,
+                seq,
+                duration_ms,
+                data,
+                sim,
+            } => P2pMsg::SegmentData {
+                video: VideoId::new(video),
+                rendition,
+                seq,
+                duration_ms,
+                data: data.clone(),
+                sim,
+            },
+        }
+    }
+}
+
+/// Encodes a P2P message in the binary format, appending to `out`.
+/// Allocation-free once `out` has warmed to the message size.
+pub fn encode_p2p_into(msg: &P2pRef<'_>, table: &InternTable, out: &mut BytesMut) {
+    out.put_u8(P2P_BIN_VERSION);
+    match *msg {
+        P2pRef::Have {
+            video,
+            rendition,
+            seqs,
+        } => {
+            out.put_u8(P2P_HAVE);
+            put_str_field(out, video, table);
+            out.put_u8(rendition);
+            put_uvarint(out, seqs.len() as u64);
+            for s in seqs {
+                put_uvarint(out, *s);
+            }
+        }
+        P2pRef::RequestSegment {
+            video,
+            rendition,
+            seq,
+        } => {
+            out.put_u8(P2P_REQUEST);
+            put_str_field(out, video, table);
+            out.put_u8(rendition);
+            put_uvarint(out, seq);
+        }
+        P2pRef::SegmentData {
+            video,
+            rendition,
+            seq,
+            duration_ms,
+            data,
+            sim,
+        } => {
+            out.put_u8(P2P_SEGMENT);
+            put_str_field(out, video, table);
+            out.put_u8(rendition);
+            put_uvarint(out, seq);
+            put_uvarint(out, u64::from(duration_ms));
+            match sim {
+                Some((im, sig)) => {
+                    out.put_u8(1);
+                    out.put_slice(&im);
+                    out.put_slice(&sig);
+                }
+                None => out.put_u8(0),
+            }
+            put_uvarint(out, data.len() as u64);
+            out.put_slice(data);
+        }
+    }
+}
+
+/// Encodes a P2P message into a fresh binary frame using `table`.
+pub fn encode_p2p(msg: &P2pMsg, table: &InternTable) -> Bytes {
+    let mut out = BytesMut::with_capacity(32);
+    encode_p2p_into(&P2pRef::from(msg), table, &mut out);
+    out.freeze()
+}
+
+/// Iterator over the sequence numbers of a decoded `Have` frame; borrows
+/// the frame, allocates nothing. The bounds were validated at decode time,
+/// so iteration is infallible.
+#[derive(Debug, Clone)]
+pub struct SeqIter<'a> {
+    data: &'a [u8],
+    off: usize,
+    remaining: usize,
+    varint: bool,
+}
+
+impl Iterator for SeqIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.varint {
+            get_uvarint(self.data, &mut self.off)
+        } else {
+            let v = u64::from_be_bytes(self.data[self.off..self.off + 8].try_into().ok()?);
+            self.off += 8;
+            Some(v)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for SeqIter<'_> {}
+
+/// Borrowed decode of a P2P frame: strings stay views, sequence numbers
+/// stream from the frame, and the segment payload is a zero-copy slice of
+/// the datagram's backing storage.
+#[derive(Debug, Clone)]
+pub enum P2pView<'a> {
+    /// Advertise possession of segments.
+    Have {
+        /// Video id field.
+        video: StrRef<'a>,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence numbers held.
+        seqs: SeqIter<'a>,
+    },
+    /// Request one segment.
+    RequestSegment {
+        /// Video id field.
+        video: StrRef<'a>,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence.
+        seq: u64,
+    },
+    /// Deliver one segment.
+    SegmentData {
+        /// Video id field.
+        video: StrRef<'a>,
+        /// Rendition.
+        rendition: u8,
+        /// Sequence.
+        seq: u64,
+        /// Play duration in milliseconds.
+        duration_ms: u32,
+        /// Media payload (zero-copy slice of the frame).
+        data: Bytes,
+        /// `(im, server_sig)` if SIM is attached.
+        sim: Option<([u8; 32], [u8; 32])>,
+    },
+}
+
+/// Decodes either a binary or a legacy P2P frame into a borrowed view.
+/// Total over arbitrary bytes; `None` on any malformation.
+pub fn decode_p2p_view(frame: &Bytes) -> Option<P2pView<'_>> {
+    let data: &[u8] = frame;
+    let mut off = 0usize;
+    let first = get_u8(data, &mut off)?;
+    let (tag, varint) = if first == P2P_BIN_VERSION {
+        (get_u8(data, &mut off)?, true)
+    } else {
+        (first, false)
+    };
+    let video = if varint {
+        get_str_field(data, &mut off)?
+    } else {
+        StrRef::Inline(take_legacy_str(data, &mut off)?)
+    };
+    let rendition = get_u8(data, &mut off)?;
+    match tag {
+        P2P_HAVE => {
+            let n = usize::try_from(if varint {
+                get_uvarint(data, &mut off)?
+            } else {
+                u64::from(u32::from_be_bytes(get_array::<4>(data, &mut off)?))
+            })
+            .ok()?;
+            let start = off;
+            // Validate the whole list now so SeqIter can be infallible.
+            if varint {
+                for _ in 0..n {
+                    get_uvarint(data, &mut off)?;
+                }
+            } else {
+                off = off.checked_add(n.checked_mul(8)?)?;
+                if off > data.len() {
+                    return None;
+                }
+            }
+            Some(P2pView::Have {
+                video,
+                rendition,
+                seqs: SeqIter {
+                    data,
+                    off: start,
+                    remaining: n,
+                    varint,
+                },
+            })
+        }
+        P2P_REQUEST => Some(P2pView::RequestSegment {
+            video,
+            rendition,
+            seq: if varint {
+                get_uvarint(data, &mut off)?
+            } else {
+                u64::from_be_bytes(get_array::<8>(data, &mut off)?)
+            },
+        }),
+        P2P_SEGMENT => {
+            let (seq, duration_ms) = if varint {
+                (
+                    get_uvarint(data, &mut off)?,
+                    u32::try_from(get_uvarint(data, &mut off)?).ok()?,
+                )
+            } else {
+                (
+                    u64::from_be_bytes(get_array::<8>(data, &mut off)?),
+                    u32::from_be_bytes(get_array::<4>(data, &mut off)?),
+                )
+            };
+            let sim = match get_u8(data, &mut off)? {
+                1 => Some((
+                    get_array::<32>(data, &mut off)?,
+                    get_array::<32>(data, &mut off)?,
+                )),
+                0 => None,
+                _ => return None,
+            };
+            let len = usize::try_from(if varint {
+                get_uvarint(data, &mut off)?
+            } else {
+                u64::from(u32::from_be_bytes(get_array::<4>(data, &mut off)?))
+            })
+            .ok()?;
+            let end = off.checked_add(len)?;
+            if end > data.len() {
+                return None;
+            }
+            Some(P2pView::SegmentData {
+                video,
+                rendition,
+                seq,
+                duration_ms,
+                data: frame.slice(off..end),
+                sim,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Legacy u16-length-prefixed string, borrowed (the old parsers copied).
+fn take_legacy_str<'a>(data: &'a [u8], off: &mut usize) -> Option<&'a str> {
+    let len = usize::from(u16::from_be_bytes(get_array::<2>(data, off)?));
+    let end = off.checked_add(len)?;
+    if end > data.len() {
+        return None;
+    }
+    let s = std::str::from_utf8(&data[*off..end]).ok()?;
+    *off = end;
+    Some(s)
+}
+
+/// Decodes a P2P frame (either format) into an owned [`P2pMsg`], resolving
+/// intern-table slots against `table`. The segment payload stays a
+/// zero-copy slice of `frame`.
+pub fn decode_p2p(frame: &Bytes, table: &InternTable) -> Option<P2pMsg> {
+    match decode_p2p_view(frame)? {
+        P2pView::Have {
+            video,
+            rendition,
+            seqs,
+        } => Some(P2pMsg::Have {
+            video: VideoId::new(video.resolve(table)?),
+            rendition,
+            seqs: seqs.collect(),
+        }),
+        P2pView::RequestSegment {
+            video,
+            rendition,
+            seq,
+        } => Some(P2pMsg::RequestSegment {
+            video: VideoId::new(video.resolve(table)?),
+            rendition,
+            seq,
+        }),
+        P2pView::SegmentData {
+            video,
+            rendition,
+            seq,
+            duration_ms,
+            data,
+            sim,
+        } => Some(P2pMsg::SegmentData {
+            video: VideoId::new(video.resolve(table)?),
+            rendition,
+            seq,
+            duration_ms,
+            data,
+            sim,
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baseline codecs
+// ---------------------------------------------------------------------
+
+/// The pre-binary codecs, kept verbatim as a differential baseline: JSON
+/// signaling frames and the fixed-width P2P format. `wire_bench` measures
+/// the binary codec against these, and the differential proptests assert
+/// message-level equivalence between the two stacks.
+pub mod json_baseline {
+    use super::*;
+
+    /// Encodes a signaling message as `TLS|` + JSON (the old hot path).
+    pub fn encode_signal(msg: &SignalMsg) -> Bytes {
+        let json = serde_json::to_vec(msg).expect("signal messages serialize");
+        let mut out = BytesMut::with_capacity(4 + json.len());
+        out.put_slice(TLS_MARKER);
+        out.put_slice(&json);
+        out.freeze()
+    }
+
+    /// Decodes a `TLS|` + JSON signaling frame only (binary frames return
+    /// `None` here; [`SignalMsg::decode`] accepts both).
+    pub fn decode_signal(frame: &[u8]) -> Option<SignalMsg> {
+        let body = frame.strip_prefix(TLS_MARKER.as_slice())?;
+        if body.first() == Some(&SIGNAL_BIN_VERSION) {
+            return None;
+        }
+        serde_json::from_slice(body).ok()
+    }
+
+    /// Encodes a P2P message in the legacy fixed-width format.
+    pub fn encode_p2p(msg: &P2pMsg) -> Bytes {
+        let mut out = BytesMut::new();
+        fn put_str(out: &mut BytesMut, s: &str) {
+            out.put_u16(s.len() as u16);
+            out.put_slice(s.as_bytes());
+        }
+        match msg {
+            P2pMsg::Have {
+                video,
+                rendition,
+                seqs,
+            } => {
+                out.put_u8(1);
+                put_str(&mut out, &video.0);
+                out.put_u8(*rendition);
+                out.put_u32(seqs.len() as u32);
+                for s in seqs {
+                    out.put_u64(*s);
+                }
+            }
+            P2pMsg::RequestSegment {
+                video,
+                rendition,
+                seq,
+            } => {
+                out.put_u8(2);
+                put_str(&mut out, &video.0);
+                out.put_u8(*rendition);
+                out.put_u64(*seq);
+            }
+            P2pMsg::SegmentData {
+                video,
+                rendition,
+                seq,
+                duration_ms,
+                data,
+                sim,
+            } => {
+                out.put_u8(3);
+                put_str(&mut out, &video.0);
+                out.put_u8(*rendition);
+                out.put_u64(*seq);
+                out.put_u32(*duration_ms);
+                match sim {
+                    Some((im, sig)) => {
+                        out.put_u8(1);
+                        out.put_slice(im);
+                        out.put_slice(sig);
+                    }
+                    None => out.put_u8(0),
+                }
+                out.put_u32(data.len() as u32);
+                out.put_slice(data);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Decodes a legacy (or binary) P2P frame; both formats share the
+    /// unified zero-copy parser.
+    pub fn decode_p2p(frame: &Bytes) -> Option<P2pMsg> {
+        super::decode_p2p(frame, &InternTable::EMPTY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sdp(nc: usize) -> SessionDescription {
+        SessionDescription {
+            ice_ufrag: "ufrag01".into(),
+            ice_pwd: "pwd-secret".into(),
+            fingerprint: Fingerprint([7u8; 32]),
+            candidates: (0..nc)
+                .map(|i| Candidate {
+                    kind: match i % 3 {
+                        0 => CandidateKind::Host,
+                        1 => CandidateKind::ServerReflexive,
+                        _ => CandidateKind::Relay,
+                    },
+                    addr: Addr::new(10, 0, (i / 256) as u8, (i % 256) as u8, 4000 + i as u16),
+                    priority: 1 << (i % 31),
+                })
+                .collect(),
+        }
+    }
+
+    fn every_signal_variant() -> Vec<SignalMsg> {
+        vec![
+            SignalMsg::Join {
+                api_key: Some("key".into()),
+                token: None,
+                origin: "site.tv".into(),
+                video: "v.m3u8".into(),
+                manifest_hash: "abcd".into(),
+                sdp: sdp(3),
+            },
+            SignalMsg::JoinOk {
+                peer_id: 1 << 40,
+                neighbors: vec![(1, sdp(2)), (99, sdp(0))],
+            },
+            SignalMsg::JoinDenied {
+                reason: "bad key".into(),
+            },
+            SignalMsg::PeerJoined {
+                peer_id: 7,
+                sdp: sdp(1),
+            },
+            SignalMsg::StatsReport {
+                p2p_up_bytes: u64::MAX,
+                p2p_down_bytes: 0,
+            },
+            SignalMsg::ImReport {
+                video: "v".into(),
+                rendition: 2,
+                seq: 300,
+                im: "00ff".repeat(16),
+            },
+            SignalMsg::SimBroadcast {
+                video: "v".into(),
+                rendition: 0,
+                seq: 12,
+                im: "aa".repeat(32),
+                sig: "bb".repeat(32),
+            },
+            SignalMsg::Blacklisted {
+                reason: "fake reports".into(),
+            },
+            SignalMsg::Leave,
+        ]
+    }
+
+    fn every_p2p_variant() -> Vec<P2pMsg> {
+        vec![
+            P2pMsg::Have {
+                video: VideoId::new("v.m3u8"),
+                rendition: 1,
+                seqs: vec![0, 1, 127, 128, 1 << 40],
+            },
+            P2pMsg::RequestSegment {
+                video: VideoId::new("v.m3u8"),
+                rendition: 0,
+                seq: 42,
+            },
+            P2pMsg::SegmentData {
+                video: VideoId::new("v.m3u8"),
+                rendition: 3,
+                seq: 9,
+                duration_ms: 4000,
+                data: Bytes::from_static(b"\x47segment-bytes"),
+                sim: Some(([1u8; 32], [2u8; 32])),
+            },
+            P2pMsg::SegmentData {
+                video: VideoId::new("v.m3u8"),
+                rendition: 0,
+                seq: 10,
+                duration_ms: 4000,
+                data: Bytes::from_static(b""),
+                sim: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn binary_signal_roundtrips_every_variant() {
+        for msg in every_signal_variant() {
+            let frame = encode_signal(&msg);
+            assert!(frame.starts_with(TLS_MARKER), "marker preserved");
+            assert_eq!(frame[4], SIGNAL_BIN_VERSION);
+            assert_eq!(decode_signal(&frame), Some(msg));
+        }
+    }
+
+    #[test]
+    fn binary_and_json_agree_on_every_signal_variant() {
+        for msg in every_signal_variant() {
+            let bin = decode_signal(&encode_signal(&msg));
+            let json = json_baseline::decode_signal(&json_baseline::encode_signal(&msg));
+            assert_eq!(bin, json, "codecs disagree on {msg:?}");
+            assert_eq!(bin, Some(msg));
+        }
+    }
+
+    #[test]
+    fn binary_and_legacy_agree_on_every_p2p_variant() {
+        let mut table = InternTable::new();
+        table.intern("v.m3u8");
+        for msg in every_p2p_variant() {
+            for t in [&InternTable::EMPTY, &table] {
+                let bin = decode_p2p(&encode_p2p(&msg, t), t);
+                let legacy = json_baseline::decode_p2p(&json_baseline::encode_p2p(&msg));
+                assert_eq!(bin, legacy, "codecs disagree on {msg:?}");
+                assert_eq!(bin, Some(msg.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn interned_video_encodes_as_one_slot_byte() {
+        let mut table = InternTable::new();
+        assert_eq!(table.intern("v.m3u8"), 0);
+        assert_eq!(table.intern("v.m3u8"), 0, "dedup");
+        let msg = P2pMsg::RequestSegment {
+            video: VideoId::new("v.m3u8"),
+            rendition: 0,
+            seq: 5,
+        };
+        let interned = encode_p2p(&msg, &table);
+        let inline = encode_p2p(&msg, &InternTable::EMPTY);
+        assert_eq!(
+            inline.len() - interned.len(),
+            "v.m3u8".len() + 1,
+            "slot replaces the literal and its length byte"
+        );
+        // A slot against the wrong table fails closed rather than
+        // resolving to the wrong video.
+        assert_eq!(decode_p2p(&interned, &InternTable::EMPTY), None);
+        assert_eq!(decode_p2p(&interned, &table), Some(msg));
+    }
+
+    #[test]
+    fn segment_payload_decodes_zero_copy() {
+        let payload = Bytes::from(vec![0x47u8; 4096]);
+        let msg = P2pMsg::SegmentData {
+            video: VideoId::new("v"),
+            rendition: 0,
+            seq: 1,
+            duration_ms: 4000,
+            data: payload,
+            sim: None,
+        };
+        for frame in [
+            encode_p2p(&msg, &InternTable::EMPTY),
+            json_baseline::encode_p2p(&msg),
+        ] {
+            let Some(P2pView::SegmentData { data, .. }) = decode_p2p_view(&frame) else {
+                panic!("decodes");
+            };
+            // Zero-copy: the decoded payload points into the frame itself.
+            assert_eq!(
+                data.as_ptr() as usize - frame.as_ptr() as usize,
+                frame.len() - 4096
+            );
+            assert_eq!(&data[..], &[0x47u8; 4096][..]);
+        }
+    }
+
+    #[test]
+    fn view_matches_and_streams_without_table_access() {
+        let mut table = InternTable::new();
+        table.intern("v");
+        let msg = P2pMsg::Have {
+            video: VideoId::new("v"),
+            rendition: 2,
+            seqs: vec![5, 6, 700],
+        };
+        let frame = encode_p2p(&msg, &table);
+        let Some(P2pView::Have {
+            video,
+            rendition,
+            seqs,
+        }) = decode_p2p_view(&frame)
+        else {
+            panic!("decodes");
+        };
+        assert!(video.matches(&table, "v"));
+        assert!(!video.matches(&InternTable::EMPTY, "v"), "fails closed");
+        assert_eq!(rendition, 2);
+        assert_eq!(seqs.len(), 3);
+        assert_eq!(seqs.collect::<Vec<_>>(), vec![5, 6, 700]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Differential: binary and JSON stacks agree on arbitrary
+        /// signaling messages (strings, ids, candidate lists).
+        #[test]
+        fn signal_differential(
+            origin in "[a-z.]{1,20}",
+            video in "[a-zA-Z0-9:/._-]{1,40}",
+            peer_id in any::<u64>(),
+            up in any::<u64>(),
+            down in any::<u64>(),
+            nc in 0usize..5,
+        ) {
+            let msgs = [
+                SignalMsg::Join {
+                    api_key: None,
+                    token: Some(origin.clone()),
+                    origin,
+                    video: video.clone(),
+                    manifest_hash: "h".into(),
+                    sdp: sdp(nc),
+                },
+                SignalMsg::JoinOk { peer_id, neighbors: vec![(peer_id ^ 1, sdp(nc))] },
+                SignalMsg::StatsReport { p2p_up_bytes: up, p2p_down_bytes: down },
+                SignalMsg::ImReport { video, rendition: (nc % 256) as u8, seq: down, im: "cc".repeat(32) },
+            ];
+            for msg in msgs {
+                let bin = decode_signal(&encode_signal(&msg));
+                let json = json_baseline::decode_signal(&json_baseline::encode_signal(&msg));
+                prop_assert_eq!(bin.clone(), json);
+                prop_assert_eq!(bin, Some(msg));
+            }
+        }
+
+        /// Differential: binary and legacy stacks agree on arbitrary P2P
+        /// messages, with and without the video interned.
+        #[test]
+        fn p2p_differential(
+            video in "[a-zA-Z0-9:/._-]{1,40}",
+            rendition in any::<u8>(),
+            seqs in proptest::collection::vec(any::<u64>(), 0..64),
+            seq in any::<u64>(),
+            duration_ms in any::<u32>(),
+            data in proptest::collection::vec(any::<u8>(), 0..2048),
+            with_sim in any::<bool>(),
+        ) {
+            let mut table = InternTable::new();
+            table.intern(&video);
+            let vid = VideoId::new(video);
+            let msgs = [
+                P2pMsg::Have { video: vid.clone(), rendition, seqs },
+                P2pMsg::RequestSegment { video: vid.clone(), rendition, seq },
+                P2pMsg::SegmentData {
+                    video: vid, rendition, seq, duration_ms,
+                    data: Bytes::from(data),
+                    sim: with_sim.then_some(([3u8; 32], [4u8; 32])),
+                },
+            ];
+            for msg in msgs {
+                let legacy = json_baseline::decode_p2p(&json_baseline::encode_p2p(&msg));
+                let inline = decode_p2p(&encode_p2p(&msg, &InternTable::EMPTY), &InternTable::EMPTY);
+                let interned = decode_p2p(&encode_p2p(&msg, &table), &table);
+                prop_assert_eq!(legacy, Some(msg.clone()));
+                prop_assert_eq!(inline, Some(msg.clone()));
+                prop_assert_eq!(interned, Some(msg));
+            }
+        }
+
+        /// Fuzz: truncations of valid binary frames never panic and never
+        /// decode (mirrors the DTLS record truncation proptests).
+        #[test]
+        fn truncated_binary_frames_rejected(cut_seed in any::<u64>()) {
+            for msg in every_signal_variant() {
+                let frame = encode_signal(&msg);
+                let cut = 1 + (cut_seed as usize % (frame.len() - 1));
+                prop_assert_eq!(decode_signal(&frame[..cut]), None, "signal cut at {}", cut);
+            }
+            let mut table = InternTable::new();
+            table.intern("v.m3u8");
+            for msg in every_p2p_variant() {
+                let frame = encode_p2p(&msg, &table);
+                if frame.len() < 2 { continue; }
+                let cut = 1 + (cut_seed as usize % (frame.len() - 1));
+                prop_assert_eq!(decode_p2p(&frame.slice(..cut), &table), None, "p2p cut at {}", cut);
+            }
+        }
+
+        /// Fuzz: arbitrary garbage and bit-flipped frames never panic any
+        /// decoder (a flip may still decode to a *different valid* message;
+        /// totality is the property, not tamper-evidence — DTLS provides
+        /// that one layer down).
+        #[test]
+        fn decoders_total_under_bitflips(
+            garbage in proptest::collection::vec(any::<u8>(), 0..512),
+            flip_byte in any::<usize>(),
+            flip_bit in 0u8..8,
+        ) {
+            let _ = decode_signal(&garbage);
+            let _ = decode_p2p_view(&Bytes::from(garbage.clone()));
+            for msg in every_p2p_variant() {
+                let frame = encode_p2p(&msg, &InternTable::EMPTY);
+                let mut bent = frame.to_vec();
+                let i = flip_byte % bent.len();
+                bent[i] ^= 1 << flip_bit;
+                let _ = decode_p2p_view(&Bytes::from(bent));
+            }
+            for msg in every_signal_variant() {
+                let frame = encode_signal(&msg);
+                let mut bent = frame.to_vec();
+                let i = flip_byte % bent.len();
+                bent[i] ^= 1 << flip_bit;
+                let _ = decode_signal(&bent);
+            }
+        }
+    }
+}

@@ -263,17 +263,12 @@ impl PdnWorld {
                 if to == self.stun_node {
                     self.on_stun_server(dgram);
                 } else if to == self.signal_node {
-                    if let Some(msg) = SignalMsg::decode(&dgram.payload) {
-                        let replies = self.server.handle(dgram.src, msg, at, self.net.geoip());
-                        for (addr, reply) in replies {
-                            self.net.send(
-                                self.signal_node,
-                                443,
-                                addr,
-                                Transport::Tcp,
-                                reply.encode(),
-                            );
-                        }
+                    let replies =
+                        self.server
+                            .handle_frame(dgram.src, &dgram.payload, at, self.net.geoip());
+                    for (addr, reply) in replies {
+                        self.net
+                            .send(self.signal_node, 443, addr, Transport::Tcp, reply);
                     }
                 } else if to == self.cdn_node {
                     self.on_cdn(dgram);
@@ -448,6 +443,10 @@ impl PdnWorld {
                 }
                 AgentOut::UdpSend { to, data } => {
                     self.net.send(node, ports::MEDIA, to, Transport::Udp, data);
+                }
+                AgentOut::UdpBurst { to, frames } => {
+                    self.net
+                        .send_burst(node, ports::MEDIA, to, Transport::Udp, frames);
                 }
                 AgentOut::ChargeCpu(d) => self.net.resources_mut(node).charge_cpu(d),
                 AgentOut::AllocMem(b) => self.net.resources_mut(node).alloc_mem(b),

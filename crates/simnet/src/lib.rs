@@ -46,6 +46,7 @@ mod resources;
 mod rng;
 mod route;
 mod time;
+pub mod wire;
 
 pub use addr::{Addr, IpClass};
 pub use geo::{continent_of, Continent, CountryCode, CountryMix, GeoInfo, GeoIpService};

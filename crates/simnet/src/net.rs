@@ -578,6 +578,64 @@ impl Network {
         transport: Transport,
         payload: Bytes,
     ) -> SendOutcome {
+        let sender_has_tap = self.taps.contains_key(&node);
+        self.send_inner(
+            node,
+            src_port,
+            dst,
+            transport,
+            payload,
+            sender_has_tap,
+            &mut None,
+        )
+    }
+
+    /// Sends several datagrams from `node` to the same destination as one
+    /// batch (e.g. the DTLS records of a multi-record channel message).
+    ///
+    /// Per-frame behaviour — taps, NAT egress state, capture, loss and
+    /// jitter draws, bandwidth chaining — is *identical* to calling
+    /// [`Network::send`] once per frame, in order; the batch only hoists
+    /// the per-send bookkeeping: the sender's tap lookup happens once, and
+    /// route resolution (public table + NAT ingress + private table) is
+    /// computed once and reused for every frame the tap didn't redirect.
+    pub fn send_burst(
+        &mut self,
+        node: NodeId,
+        src_port: u16,
+        dst: Addr,
+        transport: Transport,
+        frames: Vec<Bytes>,
+    ) -> Vec<SendOutcome> {
+        let sender_has_tap = self.taps.contains_key(&node);
+        let mut route_cache = None;
+        frames
+            .into_iter()
+            .map(|payload| {
+                self.send_inner(
+                    node,
+                    src_port,
+                    dst,
+                    transport,
+                    payload,
+                    sender_has_tap,
+                    &mut route_cache,
+                )
+            })
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal: the two send entry points above fan in here
+    fn send_inner(
+        &mut self,
+        node: NodeId,
+        src_port: u16,
+        dst: Addr,
+        transport: Transport,
+        payload: Bytes,
+        sender_has_tap: bool,
+        route_cache: &mut Option<(NodeId, Addr)>,
+    ) -> SendOutcome {
         if !self.node(node).alive {
             return SendOutcome::Dropped(DropReason::NodeDown);
         }
@@ -590,32 +648,50 @@ impl Network {
         };
 
         // Sender-side tap (the analyzer's proxy client).
-        if let Some(verdict) = self.apply_tap(node, TapDirection::Outbound, &dgram) {
-            if verdict.drop {
-                return SendOutcome::Dropped(DropReason::Tapped);
-            }
-            if let Some(p) = verdict.new_payload {
-                dgram.payload = p;
-            }
-            if let Some(d) = verdict.redirect_to {
-                dgram.dst = d;
+        let mut redirected = false;
+        if sender_has_tap {
+            if let Some(verdict) = self.apply_tap(node, TapDirection::Outbound, &dgram) {
+                if verdict.drop {
+                    return SendOutcome::Dropped(DropReason::Tapped);
+                }
+                if let Some(p) = verdict.new_payload {
+                    dgram.payload = p;
+                }
+                if let Some(d) = verdict.redirect_to {
+                    redirected = dgram.dst != d;
+                    dgram.dst = d;
+                }
             }
         }
 
-        // NAT egress: rewrite the wire source.
+        // NAT egress: rewrite the wire source. Runs per frame even in a
+        // burst — the NAT records every contacted remote (its filtering
+        // state), so skipping calls would diverge from sequential sends.
         if let Some(nat_idx) = self.node(node).nat {
             dgram.src = self.nats[nat_idx].egress(src_internal, dgram.dst);
         }
 
         let len = dgram.payload.len().max(64) as u64; // 64-byte minimum frame
 
-        // Routing.
-        let (dest_node, final_dst) = match self.route(&dgram, node) {
-            Ok(pair) => pair,
-            Err(reason) => {
-                self.capture_frame(&dgram);
-                return SendOutcome::Dropped(reason);
-            }
+        // Routing. Route resolution is pure (NAT ingress does not mutate),
+        // so frames of a burst that kept the original destination reuse
+        // the first frame's result; a redirected frame recomputes and
+        // never touches the cache.
+        let cached = (!redirected).then_some(*route_cache).flatten();
+        let (dest_node, final_dst) = match cached {
+            Some(pair) => pair,
+            None => match self.route(&dgram, node) {
+                Ok(pair) => {
+                    if !redirected {
+                        *route_cache = Some(pair);
+                    }
+                    pair
+                }
+                Err(reason) => {
+                    self.capture_frame(&dgram);
+                    return SendOutcome::Dropped(reason);
+                }
+            },
         };
         if !self.node(dest_node).alive {
             self.capture_frame(&dgram);
@@ -760,7 +836,7 @@ impl Network {
         }
     }
 
-    fn route(&mut self, dgram: &Datagram, src_node: NodeId) -> Result<(NodeId, Addr), DropReason> {
+    fn route(&self, dgram: &Datagram, src_node: NodeId) -> Result<(NodeId, Addr), DropReason> {
         match self.public_routes.get(dgram.dst.ip).copied() {
             Some(Route::Host(id)) => Ok((id, dgram.dst)),
             Some(Route::Nat(idx)) => {
@@ -1191,5 +1267,68 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    /// A burst must be indistinguishable from the equivalent sequence of
+    /// individual sends: same outcomes, byte-identical capture ring, and
+    /// byte-identical delivered datagrams (the route cache and hoisted tap
+    /// check are pure bookkeeping).
+    #[test]
+    fn burst_delivery_is_byte_identical_to_sequential_sends() {
+        let build = |seed| {
+            let mut net = Network::new(seed);
+            let geo = GeoInfo::new("US", 1, "AS1");
+            let server = net.add_public_host(geo.clone(), LinkSpec::datacenter());
+            let nat = net.add_nat(NatKind::PortRestrictedCone, &geo);
+            let client = net.add_host_behind(nat, geo, LinkSpec::residential());
+            net.set_capture(true);
+            let dst = Addr::from_ip(net.ip(server), 443);
+            (net, client, dst)
+        };
+        let frames: Vec<Bytes> = (0..6u8)
+            .map(|i| Bytes::from(vec![i; 50 + usize::from(i) * 400]))
+            .collect();
+
+        let (mut seq_net, client, dst) = build(123);
+        let seq_outcomes: Vec<SendOutcome> = frames
+            .iter()
+            .map(|f| seq_net.send(client, 4000, dst, Transport::Udp, f.clone()))
+            .collect();
+
+        let (mut burst_net, client2, dst2) = build(123);
+        let burst_outcomes = burst_net.send_burst(client2, 4000, dst2, Transport::Udp, frames);
+
+        assert_eq!(seq_outcomes, burst_outcomes);
+
+        let snapshot = |frames: &[CapturedFrame]| {
+            frames
+                .iter()
+                .map(|f| (f.at, f.src, f.dst, f.transport, f.payload.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            snapshot(seq_net.capture()),
+            snapshot(burst_net.capture()),
+            "capture rings must match byte for byte"
+        );
+
+        loop {
+            let a = seq_net.step();
+            let b = burst_net.step();
+            match (a, b) {
+                (None, None) => break,
+                (
+                    Some((at_a, Event::Packet { to: ta, dgram: da })),
+                    Some((at_b, Event::Packet { to: tb, dgram: db })),
+                ) => {
+                    assert_eq!(at_a, at_b);
+                    assert_eq!(ta, tb);
+                    assert_eq!(da.src, db.src);
+                    assert_eq!(da.dst, db.dst);
+                    assert_eq!(da.payload, db.payload);
+                }
+                (a, b) => panic!("event streams diverged: {a:?} vs {b:?}"),
+            }
+        }
     }
 }

@@ -9,11 +9,19 @@
 use std::collections::HashMap;
 
 use bytes::{BufMut, Bytes, BytesMut};
+use pdn_simnet::wire::{get_uvarint, put_uvarint, MAX_UVARINT_LEN};
 
 use crate::dtls::{DtlsEndpoint, DtlsError, MAX_RECORD_PLAINTEXT};
 
-const CHUNK_HEADER: usize = 8 + 4 + 4; // msg_id, chunk_idx, total_chunks
-const CHUNK_DATA: usize = MAX_RECORD_PLAINTEXT - CHUNK_HEADER;
+/// Worst-case chunk header: varint msg_id (u64), chunk_idx, total_chunks.
+/// Real headers are 3–12 bytes early in a session; budgeting the maximum
+/// keeps `CHUNK_DATA` a compile-time constant.
+const MAX_CHUNK_HEADER: usize = 3 * MAX_UVARINT_LEN;
+const CHUNK_DATA: usize = MAX_RECORD_PLAINTEXT - MAX_CHUNK_HEADER;
+/// Upper bound on `total_chunks` accepted from the wire: caps reassembly
+/// memory against a forged header (≈64 GiB of claimed message at the
+/// record size, far above any real segment).
+const MAX_CHUNKS: u64 = 1 << 22;
 
 #[derive(Debug)]
 struct Partial {
@@ -64,17 +72,17 @@ impl DataChannel {
     pub fn send_message(&mut self, message: &[u8]) -> Result<Vec<Bytes>, DtlsError> {
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
-        let total = message.len().div_ceil(CHUNK_DATA).max(1) as u32;
+        let total = message.len().div_ceil(CHUNK_DATA).max(1) as u64;
         let mut records = Vec::with_capacity(total as usize);
         let mut chunks = message.chunks(CHUNK_DATA);
         let mut frame = std::mem::take(&mut self.frame);
         for idx in 0..total {
             let body = chunks.next().unwrap_or(&[]);
             frame.clear();
-            frame.reserve(CHUNK_HEADER + body.len());
-            frame.put_u64(msg_id);
-            frame.put_u32(idx);
-            frame.put_u32(total);
+            frame.reserve(MAX_CHUNK_HEADER + body.len());
+            put_uvarint(&mut frame, msg_id);
+            put_uvarint(&mut frame, idx);
+            put_uvarint(&mut frame, total);
             frame.put_slice(body);
             let sealed = self.dtls.seal(&frame);
             match sealed {
@@ -107,16 +115,15 @@ impl DataChannel {
     ///
     /// [`DtlsError::BadRecord`] for malformed chunk frames.
     pub fn ingest_plaintext(&mut self, frame: Bytes) -> Result<Option<Bytes>, DtlsError> {
-        if frame.len() < CHUNK_HEADER {
+        let mut off = 0usize;
+        let msg_id = get_uvarint(&frame, &mut off).ok_or(DtlsError::BadRecord)?;
+        let idx = get_uvarint(&frame, &mut off).ok_or(DtlsError::BadRecord)?;
+        let total = get_uvarint(&frame, &mut off).ok_or(DtlsError::BadRecord)?;
+        if total == 0 || total > MAX_CHUNKS || idx >= total {
             return Err(DtlsError::BadRecord);
         }
-        let msg_id = u64::from_be_bytes(frame[0..8].try_into().expect("len checked"));
-        let idx = u32::from_be_bytes(frame[8..12].try_into().expect("len checked")) as usize;
-        let total = u32::from_be_bytes(frame[12..16].try_into().expect("len checked")) as usize;
-        if total == 0 || idx >= total {
-            return Err(DtlsError::BadRecord);
-        }
-        let body = frame.slice(CHUNK_HEADER..);
+        let (idx, total) = (idx as usize, total as usize);
+        let body = frame.slice(off..);
         let partial = self.partials.entry(msg_id).or_insert_with(|| Partial {
             chunks: vec![None; total],
             received: 0,
@@ -227,6 +234,21 @@ mod tests {
         let n = bad.len();
         bad[n / 2] ^= 1;
         assert!(b.receive_record(&bad).is_err());
+    }
+
+    #[test]
+    fn malformed_chunk_headers_rejected() {
+        let (_, mut b) = channel_pair();
+        // Empty frame and a dangling varint continuation byte.
+        assert!(b.ingest_plaintext(Bytes::new()).is_err());
+        assert!(b.ingest_plaintext(Bytes::from_static(&[0x80])).is_err());
+        // Forged total_chunks far beyond the reassembly cap.
+        let mut f = BytesMut::new();
+        put_uvarint(&mut f, 1u64);
+        put_uvarint(&mut f, 0u64);
+        put_uvarint(&mut f, MAX_CHUNKS + 1);
+        assert!(b.ingest_plaintext(f.freeze()).is_err());
+        assert_eq!(b.pending_messages(), 0);
     }
 
     #[test]

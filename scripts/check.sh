@@ -17,6 +17,12 @@ echo "==> crypto gate (differential HMAC + fast-path speedup/alloc asserts)"
 cargo test --offline -p pdn-crypto --quiet diff_tests
 cargo run --release --offline -p pdn-bench --bin crypto_bench -- --quick
 
+echo "==> wire gate (binary vs JSON codec speedup + zero-alloc asserts)"
+cargo run --release --offline -p pdn-bench --bin wire_bench -- --quick
+
+echo "==> sim workload gate (serial workload within 10% of committed BENCH_sim.json)"
+cargo run --release --offline -p pdn-bench --bin sim_bench -- --quick
+
 echo "==> cargo bench --no-run (benches stay compiling)"
 cargo bench --offline --workspace --no-run
 
