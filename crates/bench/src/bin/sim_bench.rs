@@ -4,19 +4,23 @@
 //! parallel, with a byte-identity check across worker counts.
 //!
 //! ```text
-//! cargo run --release -p pdn-bench --bin sim_bench [-- --quick]
+//! cargo run --release -p pdn-bench --bin sim_bench [-- --quick | --profile]
 //! ```
 //!
 //! `--quick` runs the pooled workload once, serially, and fails if it
 //! regressed more than 10% against the committed `BENCH_sim.json` — the
 //! CI guard `scripts/check.sh` uses. No JSON is written in quick mode.
+//!
+//! `--profile` runs the workload once, serially, with the simnet per-phase
+//! profiler on, and prints the tick/signal/p2p/http/crypto/capture
+//! breakdown (`pdn_simnet::profile`). No JSON is written.
 
 use std::time::{Duration, Instant};
 
 use pdn_bench::ablations::{ablation_suite, AblationConfig};
 use pdn_bench::{table5_pooled, SEED};
 use pdn_core::WorldPool;
-use pdn_simnet::{Event, EventQueue, HeapMapQueue, NodeId, SimRng, SimTime};
+use pdn_simnet::{profile, Event, EventQueue, HeapMapQueue, NodeId, SimRng, SimTime};
 
 const RUNS: usize = 9;
 
@@ -88,12 +92,39 @@ fn committed_serial_ms() -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
+/// Runs one profiled serial workload pass and returns the phase totals.
+fn profiled_pass(workload: &impl Fn(&WorldPool) -> String) -> (f64, [profile::PhaseTotals; 6]) {
+    profile::reset();
+    profile::set_enabled(true);
+    let t = Instant::now();
+    std::hint::black_box(workload(&WorldPool::serial()));
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    profile::set_enabled(false);
+    (wall_ms, profile::snapshot())
+}
+
 fn main() {
     let workload = |pool: &WorldPool| {
         let mut out = table5_pooled(SEED, pool).render();
         out.push_str(&ablation_suite(AblationConfig::full(), SEED, pool).render());
         out
     };
+
+    // `--profile`: one serial pass with phase accounting on; the report is
+    // self-inclusive per phase (crypto nests inside tick/p2p).
+    if std::env::args().any(|a| a == "--profile") {
+        let (wall_ms, snap) = profiled_pass(&workload);
+        println!("workload_serial_ms: {wall_ms:.2} (profiled)");
+        for t in snap {
+            println!(
+                "  phase {:<8} {:>10.2} ms  ({} entries)",
+                t.phase.label(),
+                t.nanos as f64 / 1e6,
+                t.count
+            );
+        }
+        return;
+    }
 
     // `--quick`: one serial workload run gated against the committed
     // number; the wire/queue microbenches have their own binaries.
@@ -187,6 +218,21 @@ fn main() {
             .collect(),
     );
 
+    // One profiled pass for the per-phase attribution (wall time of this
+    // pass is reported separately — the guards add measurement overhead).
+    let (profiled_ms, snap) = profiled_pass(&workload);
+    let phase_json: Vec<String> = snap
+        .iter()
+        .map(|t| {
+            format!(
+                "\"{}\": {{\"ms\": {:.2}, \"entries\": {}}}",
+                t.phase.label(),
+                t.nanos as f64 / 1e6,
+                t.count
+            )
+        })
+        .collect();
+
     // The execution mode the 8-worker pool actually picked on this host
     // ("inline" on 1-core hosts, where spawning threads only loses time).
     let pool_mode = WorldPool::new(8).mode();
@@ -195,10 +241,12 @@ fn main() {
          \"queue_events_per_sec_new\": {new_eps:.0},\n  \"queue_events_per_sec_old\": {old_eps:.0},\n  \
          \"queue_speedup\": {:.2},\n  \"workload_serial_ms\": {serial_ms:.2},\n  \
          \"workload_parallel_ms\": {parallel_ms:.2},\n  \"workload_speedup\": {:.2},\n  \
+         \"workload_profiled_ms\": {profiled_ms:.2},\n  \"phases\": {{{}}},\n  \
          \"workers\": 8,\n  \"pool_mode\": \"{pool_mode}\",\n  \
          \"identical_across_workers\": {identical}\n}}\n",
         new_eps / old_eps,
         serial_ms / parallel_ms,
+        phase_json.join(", "),
     );
     std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
     print!("{json}");

@@ -208,11 +208,15 @@ pub fn run_wild(
         manifest_hash: "live".into(),
         sdp,
     };
-    server.handle(
+    // One reused reply buffer across the whole churn loop (the server's
+    // `handle_into` appends instead of allocating per call).
+    let mut replies: Vec<(Addr, SignalMsg)> = Vec::new();
+    server.handle_into(
         observer,
         join(token, synth_sdp(observer, None, &mut rng)),
         SimTime::ZERO,
         &geoip,
+        &mut replies,
     );
 
     // Churn loop.
@@ -235,7 +239,7 @@ pub fn run_wild(
                 break;
             }
             let Departure(dt, addr) = departures.pop().expect("peeked");
-            server.handle(addr, SignalMsg::Leave, SimTime::from_secs(dt), &geoip);
+            server.remove_peer_by_addr(addr, SimTime::from_secs(dt));
         }
         if now_secs >= total_secs {
             break;
@@ -251,11 +255,13 @@ pub fn run_wild(
         let host_ip = sample_host_candidate(&mut rng);
         let token = server.mint_temp_token(None);
         let sdp = synth_sdp(wire, Some(host_ip), &mut rng);
-        let replies = server.handle(
+        replies.clear();
+        server.handle_into(
             wire,
             join(token, sdp.clone()),
             SimTime::from_secs(now_secs),
             &geoip,
+            &mut replies,
         );
         // Whatever reaches the observer is harvested.
         for (to, msg) in &replies {

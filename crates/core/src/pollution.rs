@@ -184,17 +184,26 @@ pub fn run_pollution(
     }
     world.run_until(SimTime::from_secs(220));
 
-    // Evaluate.
+    // Evaluate. Authentic fingerprints are memoized per (rendition, seq):
+    // every victim plays the same window, and regenerating + fingerprinting
+    // a segment per played record would dominate the analysis.
+    let mut authentic_fp: std::collections::HashMap<(u8, u64), [u8; 32]> =
+        std::collections::HashMap::new();
     let mut polluted = 0usize;
     let mut total = 0usize;
     let mut rejections = 0u64;
     for &v in &victim_nodes {
         for rec in world.agent(v).player().played() {
             total += 1;
-            let authentic = source
-                .segment(rec.id.rendition, rec.id.seq)
-                .expect("in range");
-            if rec.content_hash != pdn_crypto::sha256::digest(&authentic.data) {
+            let fp = *authentic_fp
+                .entry((rec.id.rendition, rec.id.seq))
+                .or_insert_with(|| {
+                    let authentic = source
+                        .segment(rec.id.rendition, rec.id.seq)
+                        .expect("in range");
+                    pdn_media::content_fingerprint(&authentic.data)
+                });
+            if rec.content_hash != fp {
                 polluted += 1;
             }
         }
@@ -267,7 +276,7 @@ pub fn propagation_study(
     }
 
     let authentic: Vec<[u8; 32]> = (0..SEGMENTS)
-        .map(|s| pdn_crypto::sha256::digest(&source.segment(0, s).expect("in range").data))
+        .map(|s| pdn_media::content_fingerprint(&source.segment(0, s).expect("in range").data))
         .collect();
     let mut curve = Vec::new();
     let start = world.now().as_millis() / 1000;

@@ -112,6 +112,20 @@ impl HmacKey {
             outer: outer.midstate(),
         }
     }
+
+    /// The midstate after absorbing the ipad block — the starting chain
+    /// value for the inner hash. Building block for callers fusing the
+    /// HMAC chain with other compression work (the DTLS record engine);
+    /// everyone else should use [`HmacSha256::from_key`].
+    pub fn inner_midstate(&self) -> Midstate {
+        self.inner
+    }
+
+    /// The midstate after absorbing the opad block — the starting chain
+    /// value for the outer hash. See [`Self::inner_midstate`].
+    pub fn outer_midstate(&self) -> Midstate {
+        self.outer
+    }
 }
 
 /// Incremental HMAC-SHA256.

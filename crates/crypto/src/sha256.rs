@@ -231,6 +231,153 @@ mod ni {
         }};
     }
 
+    /// Safe wrapper for the two-block compressor: the caller must have seen
+    /// `available()` return true.
+    #[inline]
+    pub(super) fn compress2(
+        s0: &mut [u32; 8],
+        s1: &mut [u32; 8],
+        b0: &[u8; BLOCK_LEN],
+        b1: &[u8; BLOCK_LEN],
+    ) {
+        debug_assert!(available());
+        // SAFETY: callers reach this only after `available()` confirmed the
+        // sha/ssse3/sse4.1 target features at runtime.
+        unsafe { compress_sha_ni_x2(s0, s1, b0, b1) }
+    }
+
+    /// Four rounds of two independent hash streams, interleaved. The
+    /// `sha256rnds2` chain within one stream is serial (each result feeds
+    /// the next round), so a single stream leaves the SHA unit idle for
+    /// most of each instruction's latency; issuing the second stream's
+    /// round in between fills those dead cycles and nearly doubles
+    /// throughput on two-block workloads like the record keystream.
+    macro_rules! rounds4_x2 {
+        ($abef0:ident, $cdgh0:ident, $w0:expr,
+         $abef1:ident, $cdgh1:ident, $w1:expr, $i:expr) => {{
+            let kv = _mm_set_epi32(
+                K[4 * $i + 3] as i32,
+                K[4 * $i + 2] as i32,
+                K[4 * $i + 1] as i32,
+                K[4 * $i] as i32,
+            );
+            let wk0 = _mm_add_epi32($w0, kv);
+            let wk1 = _mm_add_epi32($w1, kv);
+            $cdgh0 = _mm_sha256rnds2_epu32($cdgh0, $abef0, wk0);
+            $cdgh1 = _mm_sha256rnds2_epu32($cdgh1, $abef1, wk1);
+            let wk0_hi = _mm_shuffle_epi32(wk0, 0x0E);
+            let wk1_hi = _mm_shuffle_epi32(wk1, 0x0E);
+            $abef0 = _mm_sha256rnds2_epu32($abef0, $cdgh0, wk0_hi);
+            $abef1 = _mm_sha256rnds2_epu32($abef1, $cdgh1, wk1_hi);
+        }};
+    }
+
+    /// Schedule extension + four rounds for two interleaved streams.
+    macro_rules! schedule_rounds4_x2 {
+        ($abef0:ident, $cdgh0:ident,
+         $a0:ident, $a1:ident, $a2:ident, $a3:ident, $a4:ident,
+         $abef1:ident, $cdgh1:ident,
+         $b0:ident, $b1:ident, $b2:ident, $b3:ident, $b4:ident, $i:expr) => {{
+            let t0 = _mm_sha256msg1_epu32($a0, $a1);
+            let t1 = _mm_sha256msg1_epu32($b0, $b1);
+            let t0 = _mm_add_epi32(t0, _mm_alignr_epi8($a3, $a2, 4));
+            let t1 = _mm_add_epi32(t1, _mm_alignr_epi8($b3, $b2, 4));
+            $a4 = _mm_sha256msg2_epu32(t0, $a3);
+            $b4 = _mm_sha256msg2_epu32(t1, $b3);
+            rounds4_x2!($abef0, $cdgh0, $a4, $abef1, $cdgh1, $b4, $i);
+        }};
+    }
+
+    /// Compresses two independent blocks into two independent states with
+    /// the round streams interleaved. Bit-identical to two
+    /// [`compress_sha_ni`] calls — only the instruction scheduling differs.
+    #[allow(unused_assignments)]
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    unsafe fn compress_sha_ni_x2(
+        s0: &mut [u32; 8],
+        s1: &mut [u32; 8],
+        b0: &[u8; BLOCK_LEN],
+        b1: &[u8; BLOCK_LEN],
+    ) {
+        let be_shuffle = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0b, 0x0405_0607_0001_0203);
+
+        let dcba0 = _mm_loadu_si128(s0.as_ptr().cast());
+        let hgfe0 = _mm_loadu_si128(s0.as_ptr().add(4).cast());
+        let badc0 = _mm_shuffle_epi32(dcba0, 0xB1);
+        let efgh0 = _mm_shuffle_epi32(hgfe0, 0x1B);
+        let mut abef0 = _mm_alignr_epi8(badc0, efgh0, 8);
+        let mut cdgh0 = _mm_blend_epi16(efgh0, badc0, 0xF0);
+        let abef0_save = abef0;
+        let cdgh0_save = cdgh0;
+
+        let dcba1 = _mm_loadu_si128(s1.as_ptr().cast());
+        let hgfe1 = _mm_loadu_si128(s1.as_ptr().add(4).cast());
+        let badc1 = _mm_shuffle_epi32(dcba1, 0xB1);
+        let efgh1 = _mm_shuffle_epi32(hgfe1, 0x1B);
+        let mut abef1 = _mm_alignr_epi8(badc1, efgh1, 8);
+        let mut cdgh1 = _mm_blend_epi16(efgh1, badc1, 0xF0);
+        let abef1_save = abef1;
+        let cdgh1_save = cdgh1;
+
+        let mut a0 = _mm_shuffle_epi8(_mm_loadu_si128(b0.as_ptr().cast()), be_shuffle);
+        let mut a1 = _mm_shuffle_epi8(_mm_loadu_si128(b0.as_ptr().add(16).cast()), be_shuffle);
+        let mut a2 = _mm_shuffle_epi8(_mm_loadu_si128(b0.as_ptr().add(32).cast()), be_shuffle);
+        let mut a3 = _mm_shuffle_epi8(_mm_loadu_si128(b0.as_ptr().add(48).cast()), be_shuffle);
+        let mut a4 = _mm_setzero_si128();
+        let mut c0 = _mm_shuffle_epi8(_mm_loadu_si128(b1.as_ptr().cast()), be_shuffle);
+        let mut c1 = _mm_shuffle_epi8(_mm_loadu_si128(b1.as_ptr().add(16).cast()), be_shuffle);
+        let mut c2 = _mm_shuffle_epi8(_mm_loadu_si128(b1.as_ptr().add(32).cast()), be_shuffle);
+        let mut c3 = _mm_shuffle_epi8(_mm_loadu_si128(b1.as_ptr().add(48).cast()), be_shuffle);
+        let mut c4 = _mm_setzero_si128();
+
+        rounds4_x2!(abef0, cdgh0, a0, abef1, cdgh1, c0, 0);
+        rounds4_x2!(abef0, cdgh0, a1, abef1, cdgh1, c1, 1);
+        rounds4_x2!(abef0, cdgh0, a2, abef1, cdgh1, c2, 2);
+        rounds4_x2!(abef0, cdgh0, a3, abef1, cdgh1, c3, 3);
+        schedule_rounds4_x2!(abef0, cdgh0, a0, a1, a2, a3, a4, abef1, cdgh1, c0, c1, c2, c3, c4, 4);
+        schedule_rounds4_x2!(abef0, cdgh0, a1, a2, a3, a4, a0, abef1, cdgh1, c1, c2, c3, c4, c0, 5);
+        schedule_rounds4_x2!(abef0, cdgh0, a2, a3, a4, a0, a1, abef1, cdgh1, c2, c3, c4, c0, c1, 6);
+        schedule_rounds4_x2!(abef0, cdgh0, a3, a4, a0, a1, a2, abef1, cdgh1, c3, c4, c0, c1, c2, 7);
+        schedule_rounds4_x2!(abef0, cdgh0, a4, a0, a1, a2, a3, abef1, cdgh1, c4, c0, c1, c2, c3, 8);
+        schedule_rounds4_x2!(abef0, cdgh0, a0, a1, a2, a3, a4, abef1, cdgh1, c0, c1, c2, c3, c4, 9);
+        schedule_rounds4_x2!(
+            abef0, cdgh0, a1, a2, a3, a4, a0, abef1, cdgh1, c1, c2, c3, c4, c0, 10
+        );
+        schedule_rounds4_x2!(
+            abef0, cdgh0, a2, a3, a4, a0, a1, abef1, cdgh1, c2, c3, c4, c0, c1, 11
+        );
+        schedule_rounds4_x2!(
+            abef0, cdgh0, a3, a4, a0, a1, a2, abef1, cdgh1, c3, c4, c0, c1, c2, 12
+        );
+        schedule_rounds4_x2!(
+            abef0, cdgh0, a4, a0, a1, a2, a3, abef1, cdgh1, c4, c0, c1, c2, c3, 13
+        );
+        schedule_rounds4_x2!(
+            abef0, cdgh0, a0, a1, a2, a3, a4, abef1, cdgh1, c0, c1, c2, c3, c4, 14
+        );
+        schedule_rounds4_x2!(
+            abef0, cdgh0, a1, a2, a3, a4, a0, abef1, cdgh1, c1, c2, c3, c4, c0, 15
+        );
+
+        let abef0 = _mm_add_epi32(abef0, abef0_save);
+        let cdgh0 = _mm_add_epi32(cdgh0, cdgh0_save);
+        let abef1 = _mm_add_epi32(abef1, abef1_save);
+        let cdgh1 = _mm_add_epi32(cdgh1, cdgh1_save);
+
+        let feba0 = _mm_shuffle_epi32(abef0, 0x1B);
+        let dchg0 = _mm_shuffle_epi32(cdgh0, 0xB1);
+        let dcba0 = _mm_blend_epi16(feba0, dchg0, 0xF0);
+        let hgfe0 = _mm_alignr_epi8(dchg0, feba0, 8);
+        _mm_storeu_si128(s0.as_mut_ptr().cast(), dcba0);
+        _mm_storeu_si128(s0.as_mut_ptr().add(4).cast(), hgfe0);
+        let feba1 = _mm_shuffle_epi32(abef1, 0x1B);
+        let dchg1 = _mm_shuffle_epi32(cdgh1, 0xB1);
+        let dcba1 = _mm_blend_epi16(feba1, dchg1, 0xF0);
+        let hgfe1 = _mm_alignr_epi8(dchg1, feba1, 8);
+        _mm_storeu_si128(s1.as_mut_ptr().cast(), dcba1);
+        _mm_storeu_si128(s1.as_mut_ptr().add(4).cast(), hgfe1);
+    }
+
     #[allow(unused_assignments)]
     #[target_feature(enable = "sha,ssse3,sse4.1")]
     unsafe fn compress_sha_ni(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
@@ -327,6 +474,68 @@ impl Midstate {
         let mut state = self.state;
         compress_block(&mut state, block);
         state_to_bytes(&state)
+    }
+
+    /// Two independent raw compressions from this midstate, interleaved on
+    /// the SHA-NI backend so the serial `sha256rnds2` latency of one stream
+    /// hides behind the other. Bit-identical to two [`Self::raw_compress`]
+    /// calls; the software backend simply runs them back to back.
+    #[inline]
+    pub fn raw_compress2(
+        &self,
+        b0: &[u8; BLOCK_LEN],
+        b1: &[u8; BLOCK_LEN],
+    ) -> ([u8; DIGEST_LEN], [u8; DIGEST_LEN]) {
+        #[cfg(target_arch = "x86_64")]
+        if ni::available() {
+            let mut s0 = self.state;
+            let mut s1 = self.state;
+            ni::compress2(&mut s0, &mut s1, b0, b1);
+            return (state_to_bytes(&s0), state_to_bytes(&s1));
+        }
+        (self.raw_compress(b0), self.raw_compress(b1))
+    }
+
+    /// Advances this midstate in place by one raw compression of `block`.
+    ///
+    /// This is the serial chaining step of Merkle–Damgård with no padding —
+    /// callers drive block splitting and padding themselves (e.g. a fused
+    /// DTLS record engine running an HMAC chain by hand).
+    #[inline]
+    pub fn compress_in_place(&mut self, block: &[u8; BLOCK_LEN]) {
+        compress_block(&mut self.state, block);
+    }
+
+    /// Advances this midstate by `my_block` while compressing the
+    /// *independent* `other_block` from the `other` midstate, interleaved
+    /// on the SHA-NI backend; returns `other`'s chaining value as bytes.
+    ///
+    /// The two streams share nothing, so a serial chain (an HMAC over a
+    /// record) can ride in the latency shadow of throughput work (the
+    /// record keystream) at no extra slot cost. Bit-identical to
+    /// [`Self::compress_in_place`] + [`Self::raw_compress`].
+    #[inline]
+    pub fn compress2_mixed(
+        &mut self,
+        my_block: &[u8; BLOCK_LEN],
+        other: &Midstate,
+        other_block: &[u8; BLOCK_LEN],
+    ) -> [u8; DIGEST_LEN] {
+        #[cfg(target_arch = "x86_64")]
+        if ni::available() {
+            let mut s1 = other.state;
+            ni::compress2(&mut self.state, &mut s1, my_block, other_block);
+            return state_to_bytes(&s1);
+        }
+        compress_block(&mut self.state, my_block);
+        other.raw_compress(other_block)
+    }
+
+    /// The chaining value as 32 big-endian bytes (the digest of the exact
+    /// block-aligned prefix absorbed so far, with no padding).
+    #[inline]
+    pub fn to_bytes(&self) -> [u8; DIGEST_LEN] {
+        state_to_bytes(&self.state)
     }
 }
 

@@ -38,7 +38,7 @@ mod source;
 
 pub use cdn::{Cdn, CdnBill, EdgeCache, OriginServer};
 pub use manifest::{ManifestEntry, MasterPlaylist, MediaPlaylist, ParseManifestError};
-pub use player::{DeliverySource, PlaybackRecord, Player, StallEvent};
+pub use player::{content_fingerprint, DeliverySource, PlaybackRecord, Player, StallEvent};
 pub use source::{Segment, SegmentId, VideoId, VideoSource};
 
 #[cfg(test)]

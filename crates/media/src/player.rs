@@ -13,6 +13,57 @@ use pdn_simnet::SimTime;
 
 use crate::source::{Segment, SegmentId};
 
+/// A fast 256-bit content fingerprint of segment bytes.
+///
+/// Pollution analysis only ever compares the fingerprint of *played* bytes
+/// against the fingerprint of the *authentic* bytes (both recomputed with
+/// this same function), so the analyzer needs collision resistance against
+/// accidental and attack-model corruption — not against an adversary
+/// targeting the hash itself. Four independent multiply-rotate lanes with a
+/// murmur-style finalizer give that at memory-bandwidth speed, where a
+/// cryptographic hash per played segment used to dominate the player's
+/// tick cost.
+pub fn content_fingerprint(data: &[u8]) -> [u8; 32] {
+    const MUL: u64 = 0x2545_f491_4f6c_dd1d;
+    let mut lanes: [u64; 4] = [
+        0x9e37_79b9_7f4a_7c15,
+        0x6a09_e667_f3bc_c909,
+        0xbb67_ae85_84ca_a73b,
+        0x3c6e_f372_fe94_f82b,
+    ];
+    let absorb = |stripe: &[u8; 32], lanes: &mut [u64; 4]| {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let w = u64::from_le_bytes(stripe[i * 8..i * 8 + 8].try_into().expect("8-byte word"));
+            *lane = (*lane ^ w).wrapping_mul(MUL).rotate_left(27);
+        }
+    };
+    let mut stripes = data.chunks_exact(32);
+    for stripe in &mut stripes {
+        absorb(stripe.try_into().expect("32-byte stripe"), &mut lanes);
+    }
+    let rest = stripes.remainder();
+    if !rest.is_empty() {
+        let mut tail = [0u8; 32];
+        tail[..rest.len()].copy_from_slice(rest);
+        absorb(&tail, &mut lanes);
+    }
+    // Cross-mix the lanes (plus the length, so padding in the tail stripe
+    // cannot alias a shorter input) through a murmur-style finalizer.
+    let mut acc = (data.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        acc = acc.rotate_left(31) ^ lanes[i];
+        let mut x = acc.wrapping_add(lanes[(i + 1) % 4]);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^= x >> 33;
+        out[i * 8..i * 8 + 8].copy_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
 /// Where a delivered segment came from, for offload accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum DeliverySource {
@@ -31,8 +82,8 @@ pub struct PlaybackRecord {
     pub started_at: SimTime,
     /// Where the bytes came from.
     pub source: DeliverySource,
-    /// SHA-256 of the bytes actually played (pollution checks compare this
-    /// against the authentic hash).
+    /// [`content_fingerprint`] of the bytes actually played (pollution
+    /// checks compare this against the authentic fingerprint).
     pub content_hash: [u8; 32],
 }
 
@@ -122,7 +173,7 @@ impl Player {
                 .buffer
                 .remove(&self.next_play_seq)
                 .expect("checked contains_key");
-            let hash = pdn_crypto::sha256::digest(&seg.data);
+            let hash = content_fingerprint(&seg.data);
             self.played.push(PlaybackRecord {
                 id: seg.id.clone(),
                 started_at: start_at,
@@ -254,7 +305,7 @@ mod tests {
         };
         p.deliver(SimTime::ZERO, polluted, DeliverySource::Peer);
         let played_hash = p.played()[0].content_hash;
-        assert_ne!(played_hash, pdn_crypto::sha256::digest(&authentic.data));
+        assert_ne!(played_hash, content_fingerprint(&authentic.data));
     }
 
     #[test]

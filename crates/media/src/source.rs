@@ -8,7 +8,6 @@
 //! makes pollution detectable.
 
 use bytes::Bytes;
-use pdn_simnet::SimRng;
 use std::time::Duration;
 
 /// Identifier of a video or live channel (the paper composes video IDs from
@@ -188,13 +187,30 @@ impl VideoSource {
             }
         }
         let size = self.segment_size(rendition);
-        let mut rng = SimRng::seed(
-            self.content_seed ^ (rendition as u64) << 56 ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        );
+        // Counter-mode multiply-xorshift fill: every 8-byte word mixes an
+        // independent counter value, so the loop has no carried dependency
+        // and generation runs near memory speed. Content only has to be
+        // deterministic and well-spread (all parties re-derive it from the
+        // same seed so hashes agree); it is not a security boundary.
+        let base =
+            self.content_seed ^ (rendition as u64) << 56 ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut data = vec![0u8; size];
-        for chunk in data.chunks_mut(8) {
-            let v = rng.next_u64().to_le_bytes();
-            chunk.copy_from_slice(&v[..chunk.len()]);
+        let mut ctr = base;
+        let mut word = || {
+            ctr = ctr.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = ctr.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z ^= z >> 31;
+            z
+        };
+        let mut chunks = data.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&word().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let v = word().to_le_bytes();
+            let n = rest.len();
+            rest.copy_from_slice(&v[..n]);
         }
         for i in (0..size).step_by(188) {
             data[i] = 0x47; // MPEG-TS sync byte

@@ -38,6 +38,8 @@ pub mod profiles;
 pub mod proto;
 pub mod sdk;
 pub mod signaling;
+pub mod state;
+pub mod state_baseline;
 pub mod wire;
 pub mod world;
 

@@ -20,7 +20,7 @@
 //!   [`PdnAgent::harvested_addrs`]; run on an attacker's node, that *is*
 //!   the IP-leak harvest.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashSet, VecDeque};
 use std::time::Duration;
 
 use bytes::{BufMut, Bytes, BytesMut};
@@ -32,6 +32,7 @@ use pdn_webrtc::{
 
 use crate::proto::{HttpRequest, HttpResponse, P2pMsg, SignalMsg};
 use crate::signaling::compute_im;
+use crate::state::{AvailMap, VecMap};
 use crate::wire::{self, InternTable, P2pRef, P2pView, WireMode};
 
 /// Well-known local ports of a peer.
@@ -202,6 +203,8 @@ struct Conn {
     check_retries: u32,
     /// ClientHello bytes kept for loss-recovery retransmission.
     client_hello: Option<Bytes>,
+    /// Segments this neighbor has advertised (HAVE), one bit each.
+    avail: AvailMap,
 }
 
 impl Conn {
@@ -230,15 +233,20 @@ pub struct PdnAgent {
     peer_id: Option<u64>,
     // Connections
     conns: Vec<Conn>,
-    // Segment scheduling
-    cache: HashMap<u64, Segment>,
-    cache_order: Vec<u64>,
+    /// Connection indices sorted by remote peer id (connections are never
+    /// removed), so holder scans walk peers in ascending-id order without
+    /// sorting — the order the RNG pick is pinned to.
+    conns_by_peer: Vec<u32>,
+    // Segment scheduling. These tables are sorted-Vec maps
+    // ([`crate::state::VecMap`]): iteration is ascending by key, so every
+    // walk below is deterministic with no collect-and-sort pass.
+    cache: VecMap<u64, Segment>,
+    cache_order: VecDeque<u64>,
     cache_bytes: u64,
-    requested: HashMap<u64, (RequestVia, SimTime)>,
+    requested: VecMap<u64, (RequestVia, SimTime)>,
     /// When each sequence was first wanted (drives the brief wait for a
     /// peer to advertise it before falling back to the CDN).
-    first_wanted: HashMap<u64, SimTime>,
-    have_map: HashMap<u64, HashSet<(u8, u64)>>,
+    first_wanted: VecMap<u64, SimTime>,
     /// Rendition currently being requested (ABR moves it; equals
     /// `config.rendition` when ABR is off).
     current_rendition: u8,
@@ -249,9 +257,9 @@ pub struct PdnAgent {
     /// Healthy ticks required before the next upgrade (doubles on every
     /// stall-triggered downgrade — upgrade hysteresis).
     abr_backoff: u32,
-    sims: HashMap<(u8, u64), ([u8; 32], [u8; 32])>,
+    sims: VecMap<(u8, u64), ([u8; 32], [u8; 32])>,
     /// Peer-delivered segments awaiting a SIM: seq -> (segment, held since).
-    held: HashMap<u64, (Segment, SimTime)>,
+    held: VecMap<u64, (Segment, SimTime)>,
     session_start_seq: Option<u64>,
     // Stats
     p2p_up: u64,
@@ -310,18 +318,18 @@ impl PdnAgent {
             join_sent: false,
             peer_id: None,
             conns: Vec::new(),
-            cache: HashMap::new(),
-            cache_order: Vec::new(),
+            conns_by_peer: Vec::new(),
+            cache: VecMap::new(),
+            cache_order: VecDeque::new(),
             cache_bytes: 0,
-            requested: HashMap::new(),
-            first_wanted: HashMap::new(),
-            have_map: HashMap::new(),
+            requested: VecMap::new(),
+            first_wanted: VecMap::new(),
             current_rendition: config_rendition,
             abr_last_stalls: 0,
             abr_healthy_ticks: 0,
             abr_backoff: 10,
-            sims: HashMap::new(),
-            held: HashMap::new(),
+            sims: VecMap::new(),
+            held: VecMap::new(),
             session_start_seq: None,
             p2p_up: 0,
             p2p_down: 0,
@@ -410,7 +418,7 @@ impl PdnAgent {
                 if video != self.config.video {
                     return Vec::new();
                 }
-                self.requested.remove(&seq);
+                self.requested.remove(seq);
                 let segment = Segment {
                     id: SegmentId {
                         video,
@@ -476,10 +484,10 @@ impl PdnAgent {
                 // Process any held segment awaiting this SIM.
                 if self
                     .held
-                    .get(&seq)
+                    .get(seq)
                     .is_some_and(|(seg, _)| seg.id.rendition == rendition)
                 {
-                    let (segment, _since) = self.held.remove(&seq).expect("checked");
+                    let (segment, _since) = self.held.remove(seq).expect("checked");
                     return self.verify_and_accept_peer_segment(segment, now);
                 }
                 Vec::new()
@@ -641,16 +649,18 @@ impl PdnAgent {
         out.extend(self.schedule_requests(now));
 
         // Held segments whose SIM never formed → verify-or-CDN fallback.
-        let mut expired_holds: Vec<u64> = self
+        // `held` iterates ascending by sequence, so no post-sort is needed
+        // (and steady-state the filter matches nothing and allocates
+        // nothing).
+        let expired_holds: Vec<u64> = self
             .held
             .iter()
             .filter(|(_, (_, since))| now.saturating_since(*since) > costs::P2P_TIMEOUT)
-            .map(|(seq, _)| *seq)
+            .map(|(seq, _)| seq)
             .collect();
-        expired_holds.sort_unstable();
         for seq in expired_holds {
-            let (segment, _) = self.held.remove(&seq).expect("collected above");
-            if self.sims.contains_key(&(segment.id.rendition, seq)) {
+            let (segment, _) = self.held.remove(seq).expect("collected above");
+            if self.sims.contains_key((segment.id.rendition, seq)) {
                 out.extend(self.verify_and_accept_peer_segment(segment, now));
             } else {
                 self.requested.insert(seq, (RequestVia::Cdn, now));
@@ -662,16 +672,15 @@ impl PdnAgent {
             }
         }
 
-        // P2P request timeouts → CDN fallback.
-        let mut timed_out: Vec<u64> = self
+        // P2P request timeouts → CDN fallback (ascending by construction).
+        let timed_out: Vec<u64> = self
             .requested
             .iter()
             .filter(|(_, (via, at))| {
                 matches!(via, RequestVia::Peer(_)) && now.saturating_since(*at) > costs::P2P_TIMEOUT
             })
-            .map(|(seq, _)| *seq)
+            .map(|(seq, _)| seq)
             .collect();
-        timed_out.sort_unstable();
         for seq in timed_out {
             self.requested.insert(seq, (RequestVia::Cdn, now));
             out.push(AgentOut::Http(HttpRequest::GetSegment {
@@ -782,6 +791,12 @@ impl PdnAgent {
                 )
             })
             .collect();
+        let have: Vec<(u64, usize)> = self
+            .conns
+            .iter()
+            .filter(|c| !c.avail.is_empty())
+            .map(|c| (c.remote_peer, c.avail.len()))
+            .collect();
         format!(
             "peer_id={:?} gathered={} cands={} join_sent={} conns=[{}] have={:?} req={:?}",
             self.peer_id,
@@ -789,7 +804,7 @@ impl PdnAgent {
             self.gatherer.candidates().len(),
             self.join_sent,
             conns.join(", "),
-            self.have_map,
+            have,
             self.requested.keys().collect::<Vec<_>>(),
         )
     }
@@ -824,9 +839,13 @@ impl PdnAgent {
         sdp: SessionDescription,
         role: ConnRole,
     ) -> Vec<AgentOut> {
-        if self.conns.iter().any(|c| c.remote_peer == remote_peer) {
-            return Vec::new();
-        }
+        let slot = match self
+            .conns_by_peer
+            .binary_search_by_key(&remote_peer, |&i| self.conns[i as usize].remote_peer)
+        {
+            Ok(_) => return Vec::new(),
+            Err(slot) => slot,
+        };
         let (ufrag, pwd) = self.gatherer.credentials();
         let mut ice = IceAgent::with_credentials(
             ports::MEDIA,
@@ -854,6 +873,7 @@ impl PdnAgent {
                 }
             }
         }
+        self.conns_by_peer.insert(slot, self.conns.len() as u32);
         self.conns.push(Conn {
             remote_peer,
             role,
@@ -865,6 +885,7 @@ impl PdnAgent {
             queued: Vec::new(),
             check_retries: 0,
             client_hello: None,
+            avail: AvailMap::new(),
         });
         if relay_remote.is_some() {
             // Relay mode skips ICE entirely: the relayed addresses are
@@ -1056,13 +1077,18 @@ impl PdnAgent {
     fn flush_conn(&mut self, idx: usize, _now: SimTime) -> Vec<AgentOut> {
         let mut out = Vec::new();
         // Announce our cache to the new neighbor, grouped by rendition.
-        let mut by_rendition: std::collections::BTreeMap<u8, Vec<u64>> =
-            std::collections::BTreeMap::new();
+        // The cache iterates ascending by sequence, so each bucket is born
+        // sorted; the rendition list itself is a tiny sorted Vec.
+        let mut by_rendition: Vec<(u8, Vec<u64>)> = Vec::new();
         for seg in self.cache.values() {
-            by_rendition
-                .entry(seg.id.rendition)
-                .or_default()
-                .push(seg.id.seq);
+            let i = match by_rendition.binary_search_by_key(&seg.id.rendition, |(r, _)| *r) {
+                Ok(i) => i,
+                Err(i) => {
+                    by_rendition.insert(i, (seg.id.rendition, Vec::new()));
+                    i
+                }
+            };
+            by_rendition[i].1.push(seg.id.seq);
         }
         let queued = std::mem::take(&mut self.conns[idx].queued);
         let PdnAgent {
@@ -1075,8 +1101,7 @@ impl PdnAgent {
             ..
         } = self;
         let conn = &mut conns[idx];
-        for (rendition, mut seqs) in by_rendition {
-            seqs.sort_unstable();
+        for (rendition, seqs) in by_rendition {
             P2pTx {
                 conn,
                 scratch: wire_scratch,
@@ -1124,10 +1149,12 @@ impl PdnAgent {
                 seqs,
             } => {
                 if video.matches(&self.intern, &self.config.video.0) {
-                    self.have_map
-                        .entry(from_peer)
-                        .or_default()
-                        .extend(seqs.map(|s| (rendition, s)));
+                    if let Some(i) = self.conn_idx_by_peer(from_peer) {
+                        let avail = &mut self.conns[i].avail;
+                        for s in seqs {
+                            avail.insert(rendition, s);
+                        }
+                    }
                 }
                 Vec::new()
             }
@@ -1158,21 +1185,30 @@ impl PdnAgent {
         }
     }
 
+    /// Resolves the connection to `peer` via the sorted-by-peer index.
+    #[inline]
+    fn conn_idx_by_peer(&self, peer: u64) -> Option<usize> {
+        self.conns_by_peer
+            .binary_search_by_key(&peer, |&i| self.conns[i as usize].remote_peer)
+            .ok()
+            .map(|slot| self.conns_by_peer[slot] as usize)
+    }
+
     /// Serves a cached segment to a requesting neighbor; the payload is
     /// borrowed all the way into the encode scratch (no segment clone).
     fn reply_segment(&mut self, from_peer: u64, rendition: u8, seq: u64) -> Vec<AgentOut> {
-        let Some(segment) = self.cache.get(&seq) else {
+        let Some(segment) = self.cache.get(seq) else {
             return Vec::new();
         };
         if segment.id.rendition != rendition {
             return Vec::new();
         }
-        let Some(idx) = self.conns.iter().position(|c| c.remote_peer == from_peer) else {
+        let Some(idx) = self.conn_idx_by_peer(from_peer) else {
             return Vec::new();
         };
         let duration_ms = segment.duration.as_millis() as u32;
         let data = segment.data.clone();
-        let sim = self.sims.get(&(rendition, seq)).copied();
+        let sim = self.sims.get((rendition, seq)).copied();
         let mut out = Vec::new();
         let PdnAgent {
             conns,
@@ -1214,7 +1250,7 @@ impl PdnAgent {
         sim: Option<([u8; 32], [u8; 32])>,
         now: SimTime,
     ) -> Vec<AgentOut> {
-        if let Some((RequestVia::Peer(_), at)) = self.requested.remove(&seq) {
+        if let Some((RequestVia::Peer(_), at)) = self.requested.remove(seq) {
             // Request→delivery latency; with the §V-B defense the
             // IM calculation (sender) and verification (receiver)
             // add their hash time on top (Table VI's latency).
@@ -1235,10 +1271,10 @@ impl PdnAgent {
             data,
         };
         if let Some((im, sig)) = sim {
-            self.sims.entry((rendition, seq)).or_insert((im, sig));
+            self.sims.or_insert_with((rendition, seq), || (im, sig));
         }
         if self.config.integrity_check {
-            if self.sims.contains_key(&(rendition, seq)) {
+            if self.sims.contains_key((rendition, seq)) {
                 self.verify_and_accept_peer_segment(segment, now)
             } else {
                 // Hold until the SIM arrives; the tick handler
@@ -1257,7 +1293,7 @@ impl PdnAgent {
         let seq = segment.id.seq;
         let rendition = segment.id.rendition;
         let mut out = vec![AgentOut::ChargeCpu(hash_cost(segment.len()))];
-        let Some((im, sig)) = self.sims.get(&(rendition, seq)) else {
+        let Some((im, sig)) = self.sims.get((rendition, seq)) else {
             return Vec::new();
         };
         let computed = compute_im(&segment.data, &self.config.video.0, rendition, seq);
@@ -1288,15 +1324,15 @@ impl PdnAgent {
         let mut out = Vec::new();
         self.player.deliver(now, segment.clone(), source);
 
-        if self.config.pdn_enabled && !self.cache.contains_key(&seq) {
+        if self.config.pdn_enabled && !self.cache.contains_key(seq) {
             let len = segment.len() as u64;
             self.cache.insert(seq, segment);
-            self.cache_order.push(seq);
+            self.cache_order.push_back(seq);
             self.cache_bytes += len;
             out.push(AgentOut::AllocMem(len));
             while self.cache_bytes > costs::CACHE_CAP && self.cache_order.len() > 1 {
-                let evict = self.cache_order.remove(0);
-                if let Some(old) = self.cache.remove(&evict) {
+                let evict = self.cache_order.pop_front().expect("len > 1");
+                if let Some(old) = self.cache.remove(evict) {
                     self.cache_bytes -= old.len() as u64;
                     out.push(AgentOut::FreeMem(old.len() as u64));
                 }
@@ -1349,9 +1385,9 @@ impl PdnAgent {
         let next = self.player.next_needed_seq();
         let mut out = Vec::new();
         for seq in next..(next + self.config.buffer_target).min(end) {
-            if self.cache.contains_key(&seq)
-                || self.requested.contains_key(&seq)
-                || self.held.contains_key(&seq)
+            if self.cache.contains_key(seq)
+                || self.requested.contains_key(seq)
+                || self.held.contains_key(seq)
             {
                 continue;
             }
@@ -1359,28 +1395,27 @@ impl PdnAgent {
             let rendition = self.current_rendition;
             let peer_with_seg = (!in_slow_start && self.config.pdn_enabled && !self.blacklisted)
                 .then(|| {
-                    let mut holders: Vec<u64> = self
-                        .have_map
+                    // `conns_by_peer` walks connections in ascending peer-id
+                    // order and each availability probe is a bitmap test, so
+                    // the candidate list reaches the RNG already sorted — no
+                    // per-segment sort pass.
+                    let holders: Vec<u64> = self
+                        .conns_by_peer
                         .iter()
-                        .filter(|(peer, seqs)| {
-                            seqs.contains(&(rendition, seq))
-                                && self
-                                    .conns
-                                    .iter()
-                                    .any(|c| c.remote_peer == **peer && c.is_established())
+                        .filter_map(|&i| {
+                            let c = &self.conns[i as usize];
+                            (c.is_established() && c.avail.contains(rendition, seq))
+                                .then_some(c.remote_peer)
                         })
-                        .map(|(peer, _)| *peer)
                         .collect();
-                    // HashMap iteration order is nondeterministic; sort so
-                    // the RNG pick is reproducible across runs.
-                    holders.sort_unstable();
                     self.rng.choose(&holders).copied()
                 })
                 .flatten();
             match peer_with_seg {
                 Some(peer) => {
-                    self.first_wanted.remove(&seq);
+                    self.first_wanted.remove(seq);
                     self.requested.insert(seq, (RequestVia::Peer(peer), now));
+                    let idx = self.conn_idx_by_peer(peer).expect("holder is connected");
                     let PdnAgent {
                         conns,
                         wire_scratch,
@@ -1390,10 +1425,6 @@ impl PdnAgent {
                         p2p_up,
                         ..
                     } = &mut *self;
-                    let idx = conns
-                        .iter()
-                        .position(|c| c.remote_peer == peer)
-                        .expect("holder is connected");
                     P2pTx {
                         conn: &mut conns[idx],
                         scratch: wire_scratch,
@@ -1418,7 +1449,7 @@ impl PdnAgent {
                     // swarm member gives up first and seeds the others —
                     // this is what concentrates load on seed peers (Fig 5).
                     let base = self.config.cdn_patience;
-                    let deadline = match self.first_wanted.get(&seq) {
+                    let deadline = match self.first_wanted.get(seq) {
                         Some(d) => *d,
                         None => {
                             let jitter_ns = if base.is_zero() {
@@ -1440,7 +1471,7 @@ impl PdnAgent {
                     if can_wait {
                         continue;
                     }
-                    self.first_wanted.remove(&seq);
+                    self.first_wanted.remove(seq);
                     self.requested.insert(seq, (RequestVia::Cdn, now));
                     out.push(AgentOut::Http(HttpRequest::GetSegment {
                         video: self.config.video.clone(),

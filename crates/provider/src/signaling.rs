@@ -6,17 +6,49 @@
 //! for billing — and, in hardened configurations, runs the §V-B
 //! peer-assisted integrity checking with conflict resolution and a peer
 //! blacklist, and the §V-C geo-constrained peer matching.
+//!
+//! # Swarm-state engine
+//!
+//! Server state is held in purpose-built structures rather than generic
+//! string-keyed maps (see `DESIGN.md`, "Swarm-state engine"):
+//!
+//! - video ids, manifest hashes, customer keys, and geo strings are
+//!   interned to dense `u32`s ([`pdn_simnet::Interner`]), so swarm lookup
+//!   hashes two integers instead of two heap strings;
+//! - peers live in a slab (`Vec<Option<PeerSlot>>`) indexed directly by
+//!   the sequential, never-reused peer id the wire already exposes, with an
+//!   `addr -> peer` index replacing the old linear scans in the stats /
+//!   IM-report / leave paths, and a peer → swarm back-pointer replacing the
+//!   old remove-from-every-swarm scan;
+//! - per-video swarm lists are kept sorted by manifest hash at insertion,
+//!   so SIM broadcasts walk them in deterministic order with no per-call
+//!   key sort;
+//! - IM-report state is bounded (entry, distinct-IM, and reporters-per-IM
+//!   caps) so attack-driven reports cannot grow server memory without
+//!   bound; evictions are counted in [`DefenseStats::im_evictions`].
+//!
+//! The pre-refactor implementation is preserved as
+//! [`crate::state_baseline::BaselineSignalingServer`] and differential
+//! tests pin the two to byte-identical reply streams.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::VecDeque;
 
 use pdn_crypto::hmac::{hmac_sha256, hmac_sha256_keyed, HmacKey};
 use pdn_media::{OriginServer, SegmentId, VideoId};
-use pdn_simnet::{Addr, GeoIpService, SimRng, SimTime};
+use pdn_simnet::{Addr, FxHashMap, FxHashSet, GeoIpService, Interner, SimRng, SimTime};
 
 use crate::auth::{AccountRegistry, AuthError, TokenValidator};
 use crate::billing::UsageMeter;
 use crate::profiles::{AuthScheme, ProviderProfile};
 use crate::proto::SignalMsg;
+
+/// Cap on distinct `(video, rendition, seq)` entries in the IM-report
+/// table; beyond it the oldest entry is evicted FIFO.
+const MAX_IM_ENTRIES: usize = 65_536;
+/// Cap on distinct IM values recorded per segment entry.
+const MAX_DISTINCT_IMS: usize = 64;
+/// Cap on reporter ids recorded per distinct IM value.
+const MAX_REPORTERS_PER_IM: usize = 1_024;
 
 /// How the server picks neighbor candidates (§V-C mitigation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -29,34 +61,42 @@ pub enum MatchingPolicy {
     SameIsp,
 }
 
-/// A member of a swarm as the server sees it.
+/// A member of a swarm as the server sees it. Country/ISP are interned ids
+/// so the matching policy compares integers.
 #[derive(Debug, Clone)]
 struct Member {
     peer_id: u64,
     addr: Addr,
     sdp: pdn_webrtc::SessionDescription,
-    country: Option<String>,
-    isp: Option<String>,
+    country: Option<u32>,
+    isp: Option<u32>,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct SwarmKey {
-    video: String,
-    manifest_hash: String,
+/// One swarm: members in join order (candidate selection walks them
+/// youngest-first).
+#[derive(Debug, Default)]
+struct Swarm {
+    members: Vec<Member>,
 }
 
+/// Slab entry for a live peer. `swarm` is the back-pointer that makes
+/// removal O(one swarm) instead of O(all swarms).
 #[derive(Debug)]
-struct PeerInfo {
+struct PeerSlot {
     addr: Addr,
-    customer_id: String,
+    customer: u32,
     last_seen: SimTime,
+    swarm: u32,
 }
 
-/// State of integrity metadata for one segment (§V-B).
+/// State of integrity metadata for one segment (§V-B). Distinct IMs are
+/// few (honest + attacker variants), so they live in a `Vec` in first-seen
+/// order — which is also the deterministic iteration order the liar scan
+/// needs (the old `HashMap` version had to sort afterwards).
 #[derive(Debug, Default)]
 struct ImEntry {
-    /// im -> reporting peer IDs
-    reports: HashMap<[u8; 32], Vec<u64>>,
+    /// (im, reporting peer IDs), in first-report order.
+    reports: Vec<([u8; 32], Vec<u64>)>,
     /// Signed authentic IM, once established.
     sim: Option<([u8; 32], [u8; 32])>,
 }
@@ -74,6 +114,9 @@ pub struct DefenseStats {
     pub blacklisted_peers: u64,
     /// SIMs issued.
     pub sims_issued: u64,
+    /// IM-report records dropped by the state caps (entry FIFO evictions
+    /// plus reports discarded at the distinct-IM / per-IM caps).
+    pub im_evictions: u64,
 }
 
 /// The PDN signaling server. See the [module docs](self).
@@ -82,21 +125,44 @@ pub struct SignalingServer {
     accounts: AccountRegistry,
     token_validator: Option<TokenValidator>,
     /// Temp tokens (private profiles): token -> optional bound video.
-    temp_tokens: HashMap<String, Option<VideoId>>,
+    temp_tokens: FxHashMap<String, Option<VideoId>>,
     /// Private platforms only accept registered video sources (the DRM-ish
     /// gate that blocked the Mango TV pollution test, §IV-C).
-    registered_sources: Option<HashSet<String>>,
+    registered_sources: Option<FxHashSet<String>>,
     matching: MatchingPolicy,
     max_neighbors: usize,
-    swarms: HashMap<SwarmKey, Vec<Member>>,
-    peers: HashMap<u64, PeerInfo>,
-    meters: HashMap<String, UsageMeter>,
+    // --- swarm-state engine ---
+    /// Video-id strings -> dense u32.
+    videos: Interner,
+    /// Manifest-hash strings -> dense u32.
+    manifests: Interner,
+    /// Customer-id strings -> dense u32 (indexes `meters`).
+    customers: Interner,
+    /// Country/ISP strings -> dense u32 (matching-policy compares).
+    geos: Interner,
+    /// Swarm slab; slots are never reused (swarms persist for the session).
+    swarms: Vec<Swarm>,
+    /// (video, manifest) -> swarm slot.
+    swarm_index: FxHashMap<(u32, u32), u32>,
+    /// video -> swarm slots, sorted by manifest-hash string (the SIM
+    /// broadcast order).
+    video_swarms: FxHashMap<u32, Vec<u32>>,
+    /// Peer slab indexed by `peer_id - 1`; peer ids are sequential and
+    /// never reused (they are wire-visible in `JoinOk`).
+    peers: Vec<Option<PeerSlot>>,
+    live_peers: usize,
+    /// Wire address -> peer id (latest join wins).
+    addr_index: FxHashMap<Addr, u64>,
+    /// Usage meters indexed by interned customer id.
+    meters: Vec<UsageMeter>,
     next_peer_id: u64,
     // §V-B defense state
     im_reporters: usize,
-    im_state: HashMap<(String, u8, u64), ImEntry>,
-    blacklist: HashSet<u64>,
-    blacklist_addrs: HashSet<Addr>,
+    im_state: FxHashMap<(u32, u8, u64), ImEntry>,
+    /// FIFO of `im_state` keys for bounded eviction.
+    im_order: VecDeque<(u32, u8, u64)>,
+    blacklist: FxHashSet<u64>,
+    blacklist_addrs: FxHashSet<Addr>,
     sim_key: Vec<u8>,
     /// Precomputed HMAC schedule for `sim_key`; every SIM signature reuses
     /// the cached ipad/opad midstates instead of rehashing the key.
@@ -104,6 +170,9 @@ pub struct SignalingServer {
     origin: Option<OriginServer>,
     defense_stats: DefenseStats,
     rng: SimRng,
+    /// Reused reply buffer for the frame path (the per-agent scratch
+    /// `BytesMut` pattern): no per-frame `Vec<(Addr, SignalMsg)>` alloc.
+    reply_scratch: Vec<(Addr, SignalMsg)>,
 }
 
 impl std::fmt::Debug for SignalingServer {
@@ -111,7 +180,7 @@ impl std::fmt::Debug for SignalingServer {
         f.debug_struct("SignalingServer")
             .field("provider", &self.profile.name)
             .field("swarms", &self.swarms.len())
-            .field("peers", &self.peers.len())
+            .field("peers", &self.live_peers)
             .finish()
     }
 }
@@ -125,23 +194,33 @@ impl SignalingServer {
             profile,
             accounts: AccountRegistry::new(),
             token_validator,
-            temp_tokens: HashMap::new(),
+            temp_tokens: FxHashMap::default(),
             registered_sources: None,
             matching: MatchingPolicy::Global,
             max_neighbors: 4,
-            swarms: HashMap::new(),
-            peers: HashMap::new(),
-            meters: HashMap::new(),
+            videos: Interner::new(),
+            manifests: Interner::new(),
+            customers: Interner::new(),
+            geos: Interner::new(),
+            swarms: Vec::new(),
+            swarm_index: FxHashMap::default(),
+            video_swarms: FxHashMap::default(),
+            peers: Vec::new(),
+            live_peers: 0,
+            addr_index: FxHashMap::default(),
+            meters: Vec::new(),
             next_peer_id: 1,
             im_reporters: 3,
-            im_state: HashMap::new(),
-            blacklist: HashSet::new(),
-            blacklist_addrs: HashSet::new(),
+            im_state: FxHashMap::default(),
+            im_order: VecDeque::new(),
+            blacklist: FxHashSet::default(),
+            blacklist_addrs: FxHashSet::default(),
             sim_key: b"pdn-server-sim-key".to_vec(),
             sim_hmac: HmacKey::new(b"pdn-server-sim-key"),
             origin: None,
             defense_stats: DefenseStats::default(),
             rng: SimRng::seed(seed ^ 0x51_6e_a1),
+            reply_scratch: Vec::new(),
         }
     }
 
@@ -204,7 +283,10 @@ impl SignalingServer {
 
     /// Usage meter of a customer (free-riding evidence).
     pub fn meter(&self, customer_id: &str) -> UsageMeter {
-        self.meters.get(customer_id).copied().unwrap_or_default()
+        self.customers
+            .get(customer_id)
+            .and_then(|id| self.meters.get(id as usize).copied())
+            .unwrap_or_default()
     }
 
     /// Defense activity counters.
@@ -219,21 +301,71 @@ impl SignalingServer {
 
     /// Number of live peers.
     pub fn peer_count(&self) -> usize {
-        self.peers.len()
+        self.live_peers
     }
 
-    /// All wire addresses the server has seen join (what the *server*
-    /// knows; peers individually see only their neighbors).
-    pub fn known_peer_addrs(&self) -> Vec<Addr> {
-        self.peers.values().map(|p| p.addr).collect()
+    /// Iterates wire addresses of live peers in join (peer-id) order —
+    /// what the *server* knows; peers individually see only their
+    /// neighbors.
+    pub fn known_peer_addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.peers.iter().flatten().map(|p| p.addr)
     }
 
-    /// Decodes one signaling frame, handles it, and encodes the replies.
-    ///
-    /// This is the world harness's hot path. A broadcast (e.g. §V-B
-    /// [`SignalMsg::SimBroadcast`]) fans one identical message out to the
-    /// whole swarm, so a reply equal to the previous one reuses its encoded
-    /// frame — a refcount bump instead of a per-recipient re-encode.
+    fn meter_mut(&mut self, customer: u32) -> &mut UsageMeter {
+        let idx = customer as usize;
+        if idx >= self.meters.len() {
+            self.meters.resize_with(idx + 1, UsageMeter::default);
+        }
+        &mut self.meters[idx]
+    }
+
+    fn peer(&self, peer_id: u64) -> Option<&PeerSlot> {
+        self.peers
+            .get(peer_id as usize - 1)
+            .and_then(Option::as_ref)
+    }
+
+    /// Resolves the live peer that joined from `addr` (latest join wins).
+    fn peer_by_addr(&self, addr: Addr) -> Option<u64> {
+        self.addr_index.get(&addr).copied()
+    }
+
+    /// Decodes one signaling frame, handles it, and encodes the replies
+    /// into `out` (appended). This is the world harness's hot path: the
+    /// intermediate reply list is a reused per-server scratch, and a
+    /// broadcast (e.g. §V-B [`SignalMsg::SimBroadcast`]) fans one identical
+    /// message out to the whole swarm, so a reply equal to the previous one
+    /// reuses its encoded frame — a refcount bump instead of a
+    /// per-recipient re-encode.
+    pub fn handle_frame_into(
+        &mut self,
+        from: Addr,
+        frame: &bytes::Bytes,
+        now: SimTime,
+        geoip: &GeoIpService,
+        out: &mut Vec<(Addr, bytes::Bytes)>,
+    ) {
+        let Some(msg) = SignalMsg::decode(frame) else {
+            return;
+        };
+        let mut replies = std::mem::take(&mut self.reply_scratch);
+        replies.clear();
+        self.handle_into(from, msg, now, geoip, &mut replies);
+        let mut prev: Option<bytes::Bytes> = None;
+        for i in 0..replies.len() {
+            let (addr, reply) = &replies[i];
+            let encoded = match (&prev, i.checked_sub(1)) {
+                (Some(bytes), Some(j)) if replies[j].1 == *reply => bytes.clone(),
+                _ => reply.encode(),
+            };
+            prev = Some(encoded.clone());
+            out.push((*addr, encoded));
+        }
+        replies.clear();
+        self.reply_scratch = replies;
+    }
+
+    /// Allocating wrapper around [`SignalingServer::handle_frame_into`].
     pub fn handle_frame(
         &mut self,
         from: Addr,
@@ -241,34 +373,21 @@ impl SignalingServer {
         now: SimTime,
         geoip: &GeoIpService,
     ) -> Vec<(Addr, bytes::Bytes)> {
-        let Some(msg) = SignalMsg::decode(frame) else {
-            return Vec::new();
-        };
-        let replies = self.handle(from, msg, now, geoip);
-        let mut out = Vec::with_capacity(replies.len());
-        let mut memo: Option<(SignalMsg, bytes::Bytes)> = None;
-        for (addr, reply) in replies {
-            let encoded = match &memo {
-                Some((prev, bytes)) if *prev == reply => bytes.clone(),
-                _ => {
-                    let bytes = reply.encode();
-                    memo = Some((reply, bytes.clone()));
-                    bytes
-                }
-            };
-            out.push((addr, encoded));
-        }
+        let mut out = Vec::new();
+        self.handle_frame_into(from, frame, now, geoip, &mut out);
         out
     }
 
-    /// Handles one signaling message; returns `(destination, reply)` pairs.
-    pub fn handle(
+    /// Handles one signaling message, appending `(destination, reply)`
+    /// pairs to `out`.
+    pub fn handle_into(
         &mut self,
         from: Addr,
         msg: SignalMsg,
         now: SimTime,
         geoip: &GeoIpService,
-    ) -> Vec<(Addr, SignalMsg)> {
+        out: &mut Vec<(Addr, SignalMsg)>,
+    ) {
         match msg {
             SignalMsg::Join {
                 api_key,
@@ -287,27 +406,35 @@ impl SignalingServer {
                 sdp,
                 now,
                 geoip,
+                out,
             ),
             SignalMsg::StatsReport {
                 p2p_up_bytes,
                 p2p_down_bytes,
-            } => {
-                self.on_stats(from, p2p_up_bytes, p2p_down_bytes, now);
-                Vec::new()
-            }
+            } => self.on_stats(from, p2p_up_bytes, p2p_down_bytes, now),
             SignalMsg::ImReport {
                 video,
                 rendition,
                 seq,
                 im,
-            } => self.on_im_report(from, video, rendition, seq, im),
-            SignalMsg::Leave => {
-                self.remove_peer_by_addr(from, now);
-                Vec::new()
-            }
+            } => self.on_im_report(from, video, rendition, seq, im, out),
+            SignalMsg::Leave => self.remove_peer_by_addr(from, now),
             // Server-originated messages arriving at the server are ignored.
-            _ => Vec::new(),
+            _ => {}
         }
+    }
+
+    /// Allocating wrapper around [`SignalingServer::handle_into`].
+    pub fn handle(
+        &mut self,
+        from: Addr,
+        msg: SignalMsg,
+        now: SimTime,
+        geoip: &GeoIpService,
+    ) -> Vec<(Addr, SignalMsg)> {
+        let mut out = Vec::new();
+        self.handle_into(from, msg, now, geoip, &mut out);
+        out
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -322,77 +449,126 @@ impl SignalingServer {
         sdp: pdn_webrtc::SessionDescription,
         now: SimTime,
         geoip: &GeoIpService,
-    ) -> Vec<(Addr, SignalMsg)> {
-        let deny = |reason: String| vec![(from, SignalMsg::JoinDenied { reason })];
-
+        out: &mut Vec<(Addr, SignalMsg)>,
+    ) {
         // §V-B: peer identity binds to the transport address so expelled
         // peers cannot simply rejoin.
         if self.blacklist_addrs.contains(&from) {
-            return deny("peer is blacklisted".into());
+            out.push((
+                from,
+                SignalMsg::JoinDenied {
+                    reason: "peer is blacklisted".into(),
+                },
+            ));
+            return;
         }
 
         // Private platforms: only registered video sources participate.
         if let Some(reg) = &self.registered_sources {
             if !reg.contains(&video) {
-                return deny("video source not registered".into());
+                out.push((
+                    from,
+                    SignalMsg::JoinDenied {
+                        reason: "video source not registered".into(),
+                    },
+                ));
+                return;
             }
         }
 
         let customer_id = match self.authenticate(&api_key, &token, &origin, &video, now) {
             Ok(id) => id,
-            Err(e) => return deny(e.to_string()),
+            Err(e) => {
+                out.push((
+                    from,
+                    SignalMsg::JoinDenied {
+                        reason: e.to_string(),
+                    },
+                ));
+                return;
+            }
         };
 
         let peer_id = self.next_peer_id;
         self.next_peer_id += 1;
 
         let geo = geoip.lookup(from.ip);
-        let member = Member {
+        let (country, isp) = match geo {
+            Some(g) => (
+                Some(self.geos.intern(&g.country)),
+                Some(self.geos.intern(&g.isp)),
+            ),
+            None => (None, None),
+        };
+
+        let video_id = self.videos.intern(&video);
+        let manifest_id = self.manifests.intern(&manifest_hash);
+        let slot = match self.swarm_index.get(&(video_id, manifest_id)) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.swarms.len() as u32;
+                self.swarms.push(Swarm::default());
+                self.swarm_index.insert((video_id, manifest_id), slot);
+                // Keep the per-video slot list sorted by manifest-hash
+                // string: the SIM broadcast iterates it in this order.
+                let list = self.video_swarms.entry(video_id).or_default();
+                let pos = list
+                    .binary_search_by(|&s| {
+                        let (_, m) = slot_key(&self.swarm_index, s);
+                        self.manifests.resolve(m).cmp(&manifest_hash)
+                    })
+                    .unwrap_or_else(|p| p);
+                list.insert(pos, slot);
+                slot
+            }
+        };
+
+        // Candidate neighbors under the matching policy: walking members
+        // youngest-first with an early cap is exactly the old
+        // filter → reverse → truncate, without the intermediate Vec.
+        let members = &self.swarms[slot as usize].members;
+        let mut neighbors: Vec<(u64, pdn_webrtc::SessionDescription)> =
+            Vec::with_capacity(self.max_neighbors.min(members.len()));
+        let mut notify: Vec<Addr> = Vec::with_capacity(neighbors.capacity());
+        for m in members.iter().rev() {
+            if neighbors.len() == self.max_neighbors {
+                break;
+            }
+            if self.blacklist.contains(&m.peer_id) {
+                continue;
+            }
+            let matches = match self.matching {
+                MatchingPolicy::Global => true,
+                MatchingPolicy::SameCountry => m.country.is_some() && m.country == country,
+                MatchingPolicy::SameIsp => m.isp.is_some() && m.isp == isp,
+            };
+            if !matches {
+                continue;
+            }
+            neighbors.push((m.peer_id, m.sdp.clone()));
+            notify.push(m.addr);
+        }
+
+        self.swarms[slot as usize].members.push(Member {
             peer_id,
             addr: from,
             sdp: sdp.clone(),
-            country: geo.map(|g| g.country.clone()),
-            isp: geo.map(|g| g.isp.clone()),
-        };
+            country,
+            isp,
+        });
+        let customer = self.customers.intern(&customer_id);
+        debug_assert_eq!(self.peers.len() as u64, peer_id - 1);
+        self.peers.push(Some(PeerSlot {
+            addr: from,
+            customer,
+            last_seen: now,
+            swarm: slot,
+        }));
+        self.live_peers += 1;
+        self.addr_index.insert(from, peer_id);
+        self.meter_mut(customer).add_join();
 
-        let key = SwarmKey {
-            video: video.clone(),
-            manifest_hash,
-        };
-        let swarm = self.swarms.entry(key).or_default();
-
-        // Candidate neighbors under the matching policy.
-        let mut candidates: Vec<&Member> = swarm
-            .iter()
-            .filter(|m| !self.blacklist.contains(&m.peer_id))
-            .filter(|m| match self.matching {
-                MatchingPolicy::Global => true,
-                MatchingPolicy::SameCountry => m.country.is_some() && m.country == member.country,
-                MatchingPolicy::SameIsp => m.isp.is_some() && m.isp == member.isp,
-            })
-            .collect();
-        // Youngest members first keeps the mesh connected without hubs.
-        candidates.reverse();
-        candidates.truncate(self.max_neighbors);
-        let neighbors: Vec<(u64, pdn_webrtc::SessionDescription)> = candidates
-            .iter()
-            .map(|m| (m.peer_id, m.sdp.clone()))
-            .collect();
-        let notify: Vec<Addr> = candidates.iter().map(|m| m.addr).collect();
-
-        swarm.push(member);
-        self.peers.insert(
-            peer_id,
-            PeerInfo {
-                addr: from,
-                customer_id: customer_id.clone(),
-                last_seen: now,
-            },
-        );
-        let meter = self.meters.entry(customer_id).or_default();
-        meter.add_join();
-
-        let mut out = vec![(from, SignalMsg::JoinOk { peer_id, neighbors })];
+        out.push((from, SignalMsg::JoinOk { peer_id, neighbors }));
         for addr in notify {
             out.push((
                 addr,
@@ -402,7 +578,6 @@ impl SignalingServer {
                 },
             ));
         }
-        out
     }
 
     fn authenticate(
@@ -444,13 +619,20 @@ impl SignalingServer {
 
     fn on_stats(&mut self, from: Addr, up: u64, down: u64, now: SimTime) {
         // Attribute to the peer that joined from this address.
-        let Some((_, info)) = self.peers.iter_mut().find(|(_, p)| p.addr == from) else {
+        let Some(peer_id) = self.peer_by_addr(from) else {
+            return;
+        };
+        let Some(info) = self
+            .peers
+            .get_mut(peer_id as usize - 1)
+            .and_then(Option::as_mut)
+        else {
             return;
         };
         let watched = now.saturating_since(info.last_seen);
         info.last_seen = now;
-        let customer = info.customer_id.clone();
-        let meter = self.meters.entry(customer).or_default();
+        let customer = info.customer;
+        let meter = self.meter_mut(customer);
         meter.add_p2p_bytes(up + down);
         meter.add_viewer_time(watched);
     }
@@ -462,36 +644,57 @@ impl SignalingServer {
         rendition: u8,
         seq: u64,
         im_hex: String,
-    ) -> Vec<(Addr, SignalMsg)> {
+        out: &mut Vec<(Addr, SignalMsg)>,
+    ) {
         if !self.profile.segment_integrity_check {
-            return Vec::new();
+            return;
         }
-        let Some(peer_id) = self
-            .peers
-            .iter()
-            .find(|(_, p)| p.addr == from)
-            .map(|(id, _)| *id)
-        else {
-            return Vec::new();
+        let Some(peer_id) = self.peer_by_addr(from) else {
+            return;
         };
         if self.blacklist.contains(&peer_id) {
-            return Vec::new();
+            return;
         }
         let Some(im) = parse_hex32(&im_hex) else {
-            return Vec::new();
+            return;
         };
 
-        let entry = self
-            .im_state
-            .entry((video.clone(), rendition, seq))
-            .or_default();
-        if entry.sim.is_some() {
-            return Vec::new(); // already resolved
+        let video_id = self.videos.intern(&video);
+        let key = (video_id, rendition, seq);
+        if !self.im_state.contains_key(&key) {
+            // Bounded table: evict the oldest entry FIFO once full.
+            if self.im_state.len() >= MAX_IM_ENTRIES {
+                if let Some(oldest) = self.im_order.pop_front() {
+                    self.im_state.remove(&oldest);
+                    self.defense_stats.im_evictions += 1;
+                }
+            }
+            self.im_state.insert(key, ImEntry::default());
+            self.im_order.push_back(key);
         }
-        entry.reports.entry(im).or_default().push(peer_id);
+        let entry = self.im_state.get_mut(&key).expect("inserted above");
+        if entry.sim.is_some() {
+            return; // already resolved
+        }
+        match entry.reports.iter_mut().find(|(i, _)| *i == im) {
+            Some((_, reporters)) => {
+                if reporters.len() >= MAX_REPORTERS_PER_IM {
+                    self.defense_stats.im_evictions += 1;
+                    return;
+                }
+                reporters.push(peer_id);
+            }
+            None => {
+                if entry.reports.len() >= MAX_DISTINCT_IMS {
+                    self.defense_stats.im_evictions += 1;
+                    return;
+                }
+                entry.reports.push((im, vec![peer_id]));
+            }
+        }
 
         let distinct = entry.reports.len();
-        let total_reports: usize = entry.reports.values().map(Vec::len).sum();
+        let total_reports: usize = entry.reports.iter().map(|(_, r)| r.len()).sum();
 
         let authentic_im: Option<[u8; 32]> = if distinct > 1 {
             // Conflict: fetch the authoritative segment from the CDN
@@ -510,14 +713,13 @@ impl SignalingServer {
         };
 
         let Some(authentic) = authentic_im else {
-            return Vec::new();
+            return;
         };
 
-        // Blacklist every peer that reported a different IM.
-        let entry = self
-            .im_state
-            .get_mut(&(video.clone(), rendition, seq))
-            .expect("entry exists");
+        // Blacklist every peer that reported a different IM. Reports are
+        // already in deterministic first-seen order; sorting reporter ids
+        // matches the baseline's post-sort exactly.
+        let entry = self.im_state.get_mut(&key).expect("entry exists");
         let mut liars = Vec::new();
         for (reported, reporters) in &entry.reports {
             if *reported != authentic {
@@ -529,14 +731,14 @@ impl SignalingServer {
         entry.sim = Some((authentic, sig));
         self.defense_stats.sims_issued += 1;
 
-        let mut out = Vec::new();
         for liar in liars {
             if self.blacklist.insert(liar) {
                 self.defense_stats.blacklisted_peers += 1;
-                if let Some(info) = self.peers.get(&liar) {
-                    self.blacklist_addrs.insert(info.addr);
+                if let Some(info) = self.peer(liar) {
+                    let addr = info.addr;
+                    self.blacklist_addrs.insert(addr);
                     out.push((
-                        info.addr,
+                        addr,
                         SignalMsg::Blacklisted {
                             reason: "fake integrity metadata".into(),
                         },
@@ -546,7 +748,9 @@ impl SignalingServer {
             }
         }
 
-        // Broadcast the SIM to every member of swarms for this video.
+        // Broadcast the SIM to every member of swarms for this video. The
+        // per-video slot list is kept sorted by manifest hash, so this
+        // walks in the same order the baseline's key-sort produced.
         let sim_msg = SignalMsg::SimBroadcast {
             video: video.clone(),
             rendition,
@@ -554,18 +758,17 @@ impl SignalingServer {
             im: pdn_crypto::hex(&authentic),
             sig: pdn_crypto::hex(&sig),
         };
-        let mut seen = HashSet::new();
-        let mut keys: Vec<&SwarmKey> = self.swarms.keys().filter(|k| k.video == video).collect();
-        keys.sort_by(|a, b| a.manifest_hash.cmp(&b.manifest_hash));
-        for key in keys {
-            for m in &self.swarms[key] {
-                if self.blacklist.contains(&m.peer_id) || !seen.insert(m.peer_id) {
-                    continue;
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
+        if let Some(slots) = self.video_swarms.get(&video_id) {
+            for &slot in slots {
+                for m in &self.swarms[slot as usize].members {
+                    if self.blacklist.contains(&m.peer_id) || !seen.insert(m.peer_id) {
+                        continue;
+                    }
+                    out.push((m.addr, sim_msg.clone()));
                 }
-                out.push((m.addr, sim_msg.clone()));
             }
         }
-        out
     }
 
     /// Verifies a SIM signature (what honest peers do on receipt).
@@ -599,29 +802,50 @@ impl SignalingServer {
 
     /// Removes the peer that joined from `addr`, accruing its watch time.
     pub fn remove_peer_by_addr(&mut self, addr: Addr, now: SimTime) {
-        let Some(peer_id) = self
-            .peers
-            .iter()
-            .find(|(_, p)| p.addr == addr)
-            .map(|(id, _)| *id)
-        else {
+        let Some(peer_id) = self.peer_by_addr(addr) else {
             return;
         };
-        if let Some(info) = self.peers.remove(&peer_id) {
+        if let Some(info) = self
+            .peers
+            .get_mut(peer_id as usize - 1)
+            .and_then(Option::take)
+        {
+            self.live_peers -= 1;
+            // Drop the address mapping only if it still points at this
+            // peer (a newer join from the same address wins).
+            if self.addr_index.get(&addr) == Some(&peer_id) {
+                self.addr_index.remove(&addr);
+            }
             let watched = now.saturating_since(info.last_seen);
-            self.meters
-                .entry(info.customer_id)
-                .or_default()
-                .add_viewer_time(watched);
+            self.meter_mut(info.customer).add_viewer_time(watched);
+            self.remove_member(info.swarm, peer_id);
         }
-        self.remove_from_swarms(peer_id);
     }
 
+    /// Removes a (possibly still live) peer from its swarm via the
+    /// reverse index — O(one swarm) instead of the old every-swarm scan.
     fn remove_from_swarms(&mut self, peer_id: u64) {
-        for members in self.swarms.values_mut() {
-            members.retain(|m| m.peer_id != peer_id);
+        if let Some(slot) = self.peer(peer_id).map(|p| p.swarm) {
+            self.remove_member(slot, peer_id);
         }
     }
+
+    fn remove_member(&mut self, slot: u32, peer_id: u64) {
+        let members = &mut self.swarms[slot as usize].members;
+        if let Some(pos) = members.iter().position(|m| m.peer_id == peer_id) {
+            members.remove(pos);
+        }
+    }
+}
+
+/// Resolves a swarm slot back to its `(video, manifest)` interned key.
+/// Slots are few per video, so the reverse walk over the index is cheaper
+/// than storing the key twice.
+fn slot_key(index: &FxHashMap<(u32, u32), u32>, slot: u32) -> (u32, u32) {
+    index
+        .iter()
+        .find_map(|(k, &s)| (s == slot).then_some(*k))
+        .expect("slot registered")
 }
 
 /// Computes integrity metadata for a segment: the hash of the tuple
@@ -635,7 +859,7 @@ pub fn compute_im(data: &[u8], video: &str, rendition: u8, seq: u64) -> [u8; 32]
     h.finalize()
 }
 
-fn parse_hex32(s: &str) -> Option<[u8; 32]> {
+pub(crate) fn parse_hex32(s: &str) -> Option<[u8; 32]> {
     if s.len() != 64 {
         return None;
     }
@@ -803,6 +1027,31 @@ mod tests {
         let m = s.meter("victim");
         assert_eq!(m.p2p_bytes, 3_000_000);
         assert_eq!(m.viewer_seconds, 60);
+    }
+
+    #[test]
+    fn leave_accrues_watch_time_and_frees_the_slot() {
+        let (mut s, geo) = server();
+        s.handle(
+            addr(1),
+            join("x", "v", "key-victim", 1),
+            SimTime::ZERO,
+            &geo,
+        );
+        assert_eq!(s.peer_count(), 1);
+        assert_eq!(s.known_peer_addrs().collect::<Vec<_>>(), vec![addr(1)]);
+        s.handle(addr(1), SignalMsg::Leave, SimTime::from_secs(30), &geo);
+        assert_eq!(s.peer_count(), 0);
+        assert_eq!(s.known_peer_addrs().count(), 0);
+        assert_eq!(s.meter("victim").viewer_seconds, 30);
+        // A rejoin from the same address gets a fresh, never-reused id.
+        let r = s.handle(
+            addr(1),
+            join("x", "v", "key-victim", 2),
+            SimTime::from_secs(31),
+            &geo,
+        );
+        assert!(matches!(r[..], [(_, SignalMsg::JoinOk { peer_id: 2, .. })]));
     }
 
     #[test]
@@ -979,6 +1228,50 @@ mod tests {
         let c = compute_im(data, "w", 0, 1);
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn im_state_caps_bound_memory_and_count_evictions() {
+        let (mut s, geo, _src) = hardened_server_with_origin();
+        // Detach the origin so conflicts never resolve and reports pile up.
+        s.origin = None;
+        s.set_im_reporters(usize::MAX >> 1);
+        s.handle(addr(1), join("x", "v", "k", 1), SimTime::ZERO, &geo);
+        // Far more distinct IMs for one segment than the per-entry cap.
+        for i in 0..(MAX_DISTINCT_IMS as u32 + 40) {
+            let mut im = [0u8; 32];
+            im[..4].copy_from_slice(&i.to_be_bytes());
+            s.handle(
+                addr(1),
+                SignalMsg::ImReport {
+                    video: "v".into(),
+                    rendition: 0,
+                    seq: 0,
+                    im: pdn_crypto::hex(&im),
+                },
+                SimTime::ZERO,
+                &geo,
+            );
+        }
+        let entry = &s.im_state[&(s.videos.get("v").unwrap(), 0, 0)];
+        assert_eq!(entry.reports.len(), MAX_DISTINCT_IMS);
+        assert_eq!(s.defense_stats().im_evictions, 40);
+        // And far more segment entries than the table cap.
+        for seq in 0..(MAX_IM_ENTRIES as u64 + 10) {
+            s.handle(
+                addr(1),
+                SignalMsg::ImReport {
+                    video: "v".into(),
+                    rendition: 1,
+                    seq,
+                    im: pdn_crypto::hex(&[7u8; 32]),
+                },
+                SimTime::ZERO,
+                &geo,
+            );
+        }
+        assert!(s.im_state.len() <= MAX_IM_ENTRIES);
+        assert!(s.defense_stats().im_evictions >= 50);
     }
 
     #[test]

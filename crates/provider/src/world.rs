@@ -7,10 +7,10 @@
 //! analyzer in `pdn-core` builds attack scenarios by spawning viewers here
 //! and installing taps on their nodes.
 
-use std::collections::HashMap;
 use std::time::Duration;
 
 use pdn_media::{Cdn, OriginServer, VideoSource};
+use pdn_simnet::profile::{phase, Phase};
 use pdn_simnet::{Addr, Event, GeoInfo, LinkSpec, NatKind, Network, NodeId, SimTime, Transport};
 use pdn_webrtc::{stun, turn::TurnServer};
 
@@ -63,14 +63,18 @@ pub struct PdnWorld {
     cdn_addr: Addr,
     turn_node: NodeId,
     turn_addr: Addr,
-    viewers: HashMap<NodeId, PdnAgent>,
+    /// Viewer agents in a slab indexed by `NodeId` (node ids are dense and
+    /// sequential): packet dispatch is an array index, not a hash probe.
+    viewers: Vec<Option<PdnAgent>>,
+    /// Reused reply buffer for signaling frame handling.
+    signal_out: Vec<(Addr, bytes::Bytes)>,
 }
 
 impl std::fmt::Debug for PdnWorld {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PdnWorld")
             .field("now", &self.net.now())
-            .field("viewers", &self.viewers.len())
+            .field("viewers", &self.viewers.iter().flatten().count())
             .finish()
     }
 }
@@ -106,7 +110,8 @@ impl PdnWorld {
             cdn_addr,
             turn_node,
             turn_addr,
-            viewers: HashMap::new(),
+            viewers: Vec::new(),
+            signal_out: Vec::new(),
         }
     }
 
@@ -142,7 +147,11 @@ impl PdnWorld {
         let mut rng = self.net.rng().fork(node.0 as u64 ^ 0xa6e47);
         let mut agent = PdnAgent::new(spec.config, host_addr, stun_addr, &mut rng);
         let outs = agent.start();
-        self.viewers.insert(node, agent);
+        let idx = node.0 as usize;
+        if idx >= self.viewers.len() {
+            self.viewers.resize_with(idx + 1, || None);
+        }
+        self.viewers[idx] = Some(agent);
         self.apply_outs(node, outs);
         self.net
             .set_timer(node, crate::sdk::costs::TICK, TOKEN_TICK);
@@ -180,7 +189,10 @@ impl PdnWorld {
     ///
     /// Panics if `node` is not a viewer.
     pub fn agent(&self, node: NodeId) -> &PdnAgent {
-        &self.viewers[&node]
+        self.viewers
+            .get(node.0 as usize)
+            .and_then(Option::as_ref)
+            .expect("node is a viewer")
     }
 
     /// The signaling server (meters, defense stats, policies).
@@ -238,11 +250,13 @@ impl PdnWorld {
         &self.turn
     }
 
-    /// All viewer node IDs.
+    /// All viewer node IDs (ascending — the slab is indexed by node id).
     pub fn viewer_nodes(&self) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self.viewers.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.viewers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|_| NodeId(i as u32)))
+            .collect()
     }
 
     /// Sends a raw signaling message from a viewer's node (used by attack
@@ -263,18 +277,27 @@ impl PdnWorld {
                 if to == self.stun_node {
                     self.on_stun_server(dgram);
                 } else if to == self.signal_node {
-                    let replies =
-                        self.server
-                            .handle_frame(dgram.src, &dgram.payload, at, self.net.geoip());
-                    for (addr, reply) in replies {
+                    let _g = phase(Phase::Signal);
+                    let mut replies = std::mem::take(&mut self.signal_out);
+                    replies.clear();
+                    self.server.handle_frame_into(
+                        dgram.src,
+                        &dgram.payload,
+                        at,
+                        self.net.geoip(),
+                        &mut replies,
+                    );
+                    for (addr, reply) in replies.drain(..) {
                         self.net
                             .send(self.signal_node, 443, addr, Transport::Tcp, reply);
                     }
+                    self.signal_out = replies;
                 } else if to == self.cdn_node {
+                    let _g = phase(Phase::Http);
                     self.on_cdn(dgram);
                 } else if to == self.turn_node {
                     self.on_turn(dgram);
-                } else if self.viewers.contains_key(&to) {
+                } else if self.viewers.get(to.0 as usize).is_some_and(Option::is_some) {
                     self.on_viewer_packet(to, dgram, at);
                 }
             }
@@ -286,7 +309,12 @@ impl PdnWorld {
                     let _ = node;
                 }
                 TOKEN_TICK => {
-                    if let Some(agent) = self.viewers.get_mut(&node) {
+                    let _g = phase(Phase::Tick);
+                    if let Some(agent) = self
+                        .viewers
+                        .get_mut(node.0 as usize)
+                        .and_then(Option::as_mut)
+                    {
                         let outs = agent.on_tick(at);
                         self.apply_outs(node, outs);
                         self.net
@@ -404,17 +432,30 @@ impl PdnWorld {
     }
 
     fn on_viewer_packet(&mut self, node: NodeId, dgram: pdn_simnet::Datagram, at: SimTime) {
-        let agent = self.viewers.get_mut(&node).expect("checked by caller");
+        let agent = self
+            .viewers
+            .get_mut(node.0 as usize)
+            .and_then(Option::as_mut)
+            .expect("checked by caller");
         let outs = match dgram.dst.port {
-            ports::SIGNAL => match SignalMsg::decode(&dgram.payload) {
-                Some(msg) => agent.on_signal(msg, at),
-                None => Vec::new(),
-            },
-            ports::HTTP => match HttpResponse::decode(&dgram.payload) {
-                Some(resp) => agent.on_http(resp, at),
-                None => Vec::new(),
-            },
-            ports::MEDIA => agent.on_udp(dgram.src, &dgram.payload, at),
+            ports::SIGNAL => {
+                let _g = phase(Phase::Signal);
+                match SignalMsg::decode(&dgram.payload) {
+                    Some(msg) => agent.on_signal(msg, at),
+                    None => Vec::new(),
+                }
+            }
+            ports::HTTP => {
+                let _g = phase(Phase::Http);
+                match HttpResponse::decode(&dgram.payload) {
+                    Some(resp) => agent.on_http(resp, at),
+                    None => Vec::new(),
+                }
+            }
+            ports::MEDIA => {
+                let _g = phase(Phase::P2p);
+                agent.on_udp(dgram.src, &dgram.payload, at)
+            }
             _ => Vec::new(),
         };
         self.apply_outs(node, outs);
@@ -518,7 +559,7 @@ mod tests {
             let authentic = src.segment(0, rec.id.seq).unwrap();
             assert_eq!(
                 rec.content_hash,
-                pdn_crypto::sha256::digest(&authentic.data),
+                pdn_media::content_fingerprint(&authentic.data),
                 "segment {} authentic",
                 rec.id.seq
             );

@@ -38,9 +38,11 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod fxhash;
 mod geo;
 mod nat;
 mod net;
+pub mod profile;
 mod queue;
 mod resources;
 mod rng;
@@ -49,6 +51,7 @@ mod time;
 pub mod wire;
 
 pub use addr::{Addr, IpClass};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, Interner};
 pub use geo::{continent_of, Continent, CountryCode, CountryMix, GeoInfo, GeoIpService};
 pub use nat::{Nat, NatKind};
 pub use net::{

@@ -16,13 +16,13 @@
 //! Protocol logic lives in higher layers (`pdn-webrtc`, `pdn-provider`);
 //! this module only transports bytes.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::time::Duration;
 
 use bytes::Bytes;
 
 use crate::addr::Addr;
+use crate::fxhash::FxHashMap;
 use crate::geo::{continent_of, GeoInfo, GeoIpService};
 use crate::nat::{Nat, NatKind};
 use crate::queue::{EventId, EventQueue, EventQueueStats};
@@ -315,7 +315,7 @@ pub struct Network {
     private_routes: RouteTable<NodeId>,
     next_private: u32,
     queue: EventQueue,
-    taps: HashMap<NodeId, TapFn>,
+    taps: FxHashMap<NodeId, TapFn>,
     capture: CaptureRing,
 }
 
@@ -349,7 +349,7 @@ impl Network {
             private_routes: RouteTable::new(),
             next_private: 1,
             queue: EventQueue::new(),
-            taps: HashMap::new(),
+            taps: FxHashMap::default(),
             capture: CaptureRing::new(),
         }
     }
@@ -879,6 +879,7 @@ impl Network {
         if !self.capture.enabled {
             return;
         }
+        let _g = crate::profile::phase(crate::profile::Phase::Capture);
         if let Some(filter) = &mut self.capture.filter {
             if !filter(self.now, dgram) {
                 self.capture.filtered += 1;

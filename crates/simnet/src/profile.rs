@@ -1,0 +1,184 @@
+//! Lightweight per-phase wall-clock profiler for the simulation hot loop.
+//!
+//! The bench harness needs `workload_serial_ms` to be *attributable*: how
+//! much of the pooled workload is agent tick work vs signaling vs P2P
+//! delivery vs crypto vs frame capture. A sampling profiler is unavailable
+//! in the container, so the hot loops mark themselves with [`phase`] guards.
+//!
+//! Disabled (the default), a guard is one relaxed atomic load and no clock
+//! read — cheap enough to leave compiled into release builds. Enabled (via
+//! `sim_bench --profile`), each guard reads a monotonic clock on entry and
+//! drop, accumulating nanoseconds and entry counts into global atomics.
+//!
+//! Phases may nest (crypto work happens inside tick and P2P handling); the
+//! report therefore states self-inclusive times per phase, and `Crypto` in
+//! particular overlaps its callers rather than partitioning them.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Hot-loop phases tracked by the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Agent timer ticks (scheduling, cache maintenance, request pumps).
+    Tick,
+    /// Signaling server frame handling.
+    Signal,
+    /// Peer-to-peer datagram handling in agents.
+    P2p,
+    /// CDN/HTTP request + response handling.
+    Http,
+    /// DTLS sealing/opening and HMAC work (nested inside Tick/P2p).
+    Crypto,
+    /// Packet capture ring writes.
+    Capture,
+}
+
+/// Number of phases (array sizing).
+pub const PHASE_COUNT: usize = 6;
+
+/// Phase order used by [`snapshot`] and reports.
+pub const PHASES: [Phase; PHASE_COUNT] = [
+    Phase::Tick,
+    Phase::Signal,
+    Phase::P2p,
+    Phase::Http,
+    Phase::Crypto,
+    Phase::Capture,
+];
+
+impl Phase {
+    /// Stable lowercase label (used as JSON key suffix).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Tick => "tick",
+            Phase::Signal => "signal",
+            Phase::P2p => "p2p",
+            Phase::Http => "http",
+            Phase::Crypto => "crypto",
+            Phase::Capture => "capture",
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            Phase::Tick => 0,
+            Phase::Signal => 1,
+            Phase::P2p => 2,
+            Phase::Http => 3,
+            Phase::Crypto => 4,
+            Phase::Capture => 5,
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static NANOS: [AtomicU64; PHASE_COUNT] = [ZERO; PHASE_COUNT];
+static COUNTS: [AtomicU64; PHASE_COUNT] = [ZERO; PHASE_COUNT];
+
+/// Turns phase accounting on or off (global; affects all worlds/threads).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True if phase accounting is currently on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes all accumulated counters.
+pub fn reset() {
+    for i in 0..PHASE_COUNT {
+        NANOS[i].store(0, Ordering::Relaxed);
+        COUNTS[i].store(0, Ordering::Relaxed);
+    }
+}
+
+/// Accumulated totals for one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Which phase.
+    pub phase: Phase,
+    /// Total wall-clock nanoseconds spent inside guards for this phase.
+    pub nanos: u64,
+    /// Number of guard entries.
+    pub count: u64,
+}
+
+/// Snapshot of all phase totals, in [`PHASES`] order.
+pub fn snapshot() -> [PhaseTotals; PHASE_COUNT] {
+    PHASES.map(|p| PhaseTotals {
+        phase: p,
+        nanos: NANOS[p.idx()].load(Ordering::Relaxed),
+        count: COUNTS[p.idx()].load(Ordering::Relaxed),
+    })
+}
+
+/// RAII guard accumulating elapsed time into its phase on drop.
+pub struct PhaseGuard {
+    start: Option<(Phase, Instant)>,
+}
+
+impl Drop for PhaseGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((phase, start)) = self.start {
+            let i = phase.idx();
+            NANOS[i].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            COUNTS[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Enters `phase` for the lifetime of the returned guard.
+///
+/// When profiling is disabled this is a single relaxed load and the guard
+/// drop is a no-op.
+#[inline]
+pub fn phase(phase: Phase) -> PhaseGuard {
+    if ENABLED.load(Ordering::Relaxed) {
+        PhaseGuard {
+            start: Some((phase, Instant::now())),
+        }
+    } else {
+        PhaseGuard { start: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_guard_accumulates_nothing() {
+        set_enabled(false);
+        reset();
+        drop(phase(Phase::Tick));
+        let snap = snapshot();
+        assert_eq!(snap[0].count, 0);
+        assert_eq!(snap[0].nanos, 0);
+    }
+
+    #[test]
+    fn enabled_guard_counts_entries() {
+        set_enabled(true);
+        reset();
+        for _ in 0..3 {
+            let _g = phase(Phase::Signal);
+        }
+        {
+            let _outer = phase(Phase::P2p);
+            let _inner = phase(Phase::Crypto);
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap[1].count, 3);
+        assert_eq!(snap[2].count, 1);
+        assert_eq!(snap[4].count, 1);
+        assert_eq!(snap[1].phase.label(), "signal");
+    }
+}

@@ -70,6 +70,7 @@ impl DataChannel {
     ///
     /// Propagates DTLS sealing errors.
     pub fn send_message(&mut self, message: &[u8]) -> Result<Vec<Bytes>, DtlsError> {
+        let _g = pdn_simnet::profile::phase(pdn_simnet::profile::Phase::Crypto);
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
         let total = message.len().div_ceil(CHUNK_DATA).max(1) as u64;
@@ -104,7 +105,10 @@ impl DataChannel {
     /// Propagates DTLS record errors; malformed chunk frames are reported as
     /// [`DtlsError::BadRecord`].
     pub fn receive_record(&mut self, record: &[u8]) -> Result<Option<Bytes>, DtlsError> {
-        let frame = self.dtls.open(record)?;
+        let frame = {
+            let _g = pdn_simnet::profile::phase(pdn_simnet::profile::Phase::Crypto);
+            self.dtls.open(record)?
+        };
         self.ingest_plaintext(frame)
     }
 

@@ -229,11 +229,38 @@ impl KeystreamKey {
     /// XORs `buf` with the version-2 keystream for record `seq`. Encryption
     /// and decryption are the same operation. Keystream is produced in
     /// 64-byte blocks, two raw-compression lanes per block.
+    ///
+    /// The record path now runs through [`fused`], which pairs these same
+    /// lane compressions with the record-MAC chain; this standalone pass is
+    /// kept as the reference the fused engine is differentially tested
+    /// against.
+    #[cfg_attr(not(test), allow(dead_code))]
     fn apply(&self, seq: u64, buf: &mut [u8]) {
         let mut block = [0u8; 64];
         block[..8].copy_from_slice(&seq.to_be_bytes());
-        for (idx, chunk) in buf.chunks_mut(64).enumerate() {
-            block[8..16].copy_from_slice(&(idx as u64).to_be_bytes());
+        let mut idx: u64 = 0;
+        // Full 64-byte blocks: both lanes are needed, and they are
+        // independent compressions from the same midstate — generate them
+        // as one interleaved pair.
+        let mut chunks = buf.chunks_exact_mut(64);
+        for chunk in &mut chunks {
+            block[8..16].copy_from_slice(&idx.to_be_bytes());
+            block[16] = 0;
+            let mut block1 = block;
+            block1[16] = 1;
+            let (k0, k1) = self.mid.raw_compress2(&block, &block1);
+            let (lo, hi) = chunk.split_at_mut(32);
+            for (b, k) in lo.iter_mut().zip(k0.iter()) {
+                *b ^= k;
+            }
+            for (b, k) in hi.iter_mut().zip(k1.iter()) {
+                *b ^= k;
+            }
+            idx += 1;
+        }
+        let chunk = chunks.into_remainder();
+        if !chunk.is_empty() {
+            block[8..16].copy_from_slice(&idx.to_be_bytes());
             block[16] = 0;
             let ks = self.mid.raw_compress(&block);
             let split = chunk.len().min(32);
@@ -249,6 +276,191 @@ impl KeystreamKey {
                 }
             }
         }
+    }
+}
+
+/// Fused record engine: drives the record HMAC chain and the v2 keystream
+/// through *paired* compressions, so the serial HMAC chain rides in the
+/// latency shadow of the (embarrassingly parallel) keystream lanes instead
+/// of costing its own slot per block.
+///
+/// Done separately — [`KeystreamKey::apply`] then an HMAC pass — a record
+/// costs one pair-compression per 64-byte block (keystream) *plus* one
+/// serial compression per block (MAC). Fused, each MAC block pairs with a
+/// keystream lane, bringing the steady state from 2 to 1.5 slot-times per
+/// block. Both streams are bit-identical to the unfused paths: the same
+/// lane blocks, the same Merkle–Damgård padding, the same tag.
+mod fused {
+    use super::{KeystreamKey, HEADER_LEN};
+    use pdn_crypto::hmac::HmacKey;
+    use pdn_crypto::sha256::Midstate;
+
+    /// The keystream input block for `(seq, block_idx, lane)` — layout
+    /// identical to [`KeystreamKey::apply`].
+    #[inline]
+    fn lane_block(seq: u64, lane: usize) -> [u8; 64] {
+        let mut b = [0u8; 64];
+        b[..8].copy_from_slice(&seq.to_be_bytes());
+        b[8..16].copy_from_slice(&((lane / 2) as u64).to_be_bytes());
+        b[16] = (lane % 2) as u8;
+        b
+    }
+
+    /// Number of 32-byte keystream lanes a body of `n` bytes consumes.
+    #[inline]
+    fn total_lanes(n: usize) -> usize {
+        n.div_ceil(32)
+    }
+
+    /// XORs keystream lane `lane` into `body` (clamped at the tail).
+    #[inline]
+    fn xor_lane(body: &mut [u8], lane: usize, ks: &[u8; 32]) {
+        let start = lane * 32;
+        let end = (start + 32).min(body.len());
+        for (b, k) in body[start..end].iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+
+    /// How many keystream *blocks* are fully applied once `consumed` lanes
+    /// have been XORed (the tail block may only have one lane).
+    #[inline]
+    fn blocks_applied(consumed: usize, lanes: usize, blocks: usize) -> usize {
+        if consumed == lanes {
+            blocks
+        } else {
+            consumed / 2
+        }
+    }
+
+    /// Absorbs the sub-block message tail plus Merkle–Damgård padding into
+    /// `h`. `total_absorbed` counts every byte the inner hash has seen,
+    /// including the ipad block.
+    fn finalize_inner(h: &mut Midstate, tail: &[u8], total_absorbed: usize) {
+        let bit_len = ((total_absorbed as u64).wrapping_mul(8)).to_be_bytes();
+        let mut block = [0u8; 64];
+        block[..tail.len()].copy_from_slice(tail);
+        block[tail.len()] = 0x80;
+        if tail.len() < 56 {
+            block[56..].copy_from_slice(&bit_len);
+            h.compress_in_place(&block);
+        } else {
+            h.compress_in_place(&block);
+            let mut last = [0u8; 64];
+            last[56..].copy_from_slice(&bit_len);
+            h.compress_in_place(&last);
+        }
+    }
+
+    /// The outer HMAC pass over the finished inner chain.
+    fn outer_tag(mac: &HmacKey, h: &Midstate) -> [u8; 32] {
+        let mut block = [0u8; 64];
+        block[..32].copy_from_slice(&h.to_bytes());
+        block[32] = 0x80;
+        block[56..].copy_from_slice(&((64u64 + 32) * 8).to_be_bytes());
+        mac.outer_midstate().raw_compress(&block)
+    }
+
+    /// Seals a record in place: encrypts `out[HEADER_LEN..]` with the v2
+    /// keystream and returns the untruncated HMAC tag over the whole of
+    /// `out` (header + ciphertext).
+    ///
+    /// The MAC covers ciphertext the keystream is still producing, so MAC
+    /// block `k` is only compressed once keystream block `k` has been
+    /// applied; the greedy schedule below settles into three paired
+    /// compressions per two blocks.
+    pub(super) fn seal_record(
+        mac: &HmacKey,
+        ks: &KeystreamKey,
+        seq: u64,
+        out: &mut [u8],
+    ) -> [u8; 32] {
+        let n = out.len() - HEADER_LEN;
+        let lanes = total_lanes(n);
+        let blocks = n.div_ceil(64);
+        let full_msg_blocks = out.len() / 64;
+        let mut h = mac.inner_midstate();
+        let mut lane = 0usize;
+        let mut applied = 0usize;
+        let mut k = 0usize;
+        while k < full_msg_blocks || lane < lanes {
+            // MAC block k covers out[64k..64k+64): its last ciphertext byte
+            // sits in keystream block k (the header offsets ciphertext by
+            // 13 < 64 bytes), clamped at the end of the body.
+            let need = ((64 * k + 63).min(out.len() - 1).saturating_sub(HEADER_LEN)) / 64 + 1;
+            if k < full_msg_blocks && applied >= need.min(blocks) {
+                let mb: [u8; 64] = out[64 * k..64 * k + 64].try_into().expect("full block");
+                if lane < lanes {
+                    let lb = lane_block(seq, lane);
+                    let ksd = h.compress2_mixed(&mb, &ks.mid, &lb);
+                    xor_lane(&mut out[HEADER_LEN..], lane, &ksd);
+                    lane += 1;
+                    applied = blocks_applied(lane, lanes, blocks);
+                } else {
+                    h.compress_in_place(&mb);
+                }
+                k += 1;
+            } else if lane + 1 < lanes {
+                let (k0, k1) = ks
+                    .mid
+                    .raw_compress2(&lane_block(seq, lane), &lane_block(seq, lane + 1));
+                xor_lane(&mut out[HEADER_LEN..], lane, &k0);
+                xor_lane(&mut out[HEADER_LEN..], lane + 1, &k1);
+                lane += 2;
+                applied = blocks_applied(lane, lanes, blocks);
+            } else {
+                let k0 = ks.mid.raw_compress(&lane_block(seq, lane));
+                xor_lane(&mut out[HEADER_LEN..], lane, &k0);
+                lane += 1;
+                applied = blocks;
+            }
+        }
+        finalize_inner(&mut h, &out[full_msg_blocks * 64..], 64 + out.len());
+        outer_tag(mac, &h)
+    }
+
+    /// Opens a record: XORs the keystream over `body` (a copy of the
+    /// ciphertext) while computing the HMAC over `msg` (the *received*
+    /// header + ciphertext), and returns the untruncated expected tag.
+    ///
+    /// Here the MAC reads the received bytes, not the keystream output, so
+    /// the two streams are fully independent: every MAC block pairs with a
+    /// keystream lane outright.
+    pub(super) fn open_record(
+        mac: &HmacKey,
+        ks: &KeystreamKey,
+        seq: u64,
+        msg: &[u8],
+        body: &mut [u8],
+    ) -> [u8; 32] {
+        let lanes = total_lanes(body.len());
+        let full_msg_blocks = msg.len() / 64;
+        let mut h = mac.inner_midstate();
+        let mut lane = 0usize;
+        for k in 0..full_msg_blocks {
+            let mb: [u8; 64] = msg[64 * k..64 * k + 64].try_into().expect("full block");
+            if lane < lanes {
+                let ksd = h.compress2_mixed(&mb, &ks.mid, &lane_block(seq, lane));
+                xor_lane(body, lane, &ksd);
+                lane += 1;
+            } else {
+                h.compress_in_place(&mb);
+            }
+        }
+        while lane + 1 < lanes {
+            let (k0, k1) = ks
+                .mid
+                .raw_compress2(&lane_block(seq, lane), &lane_block(seq, lane + 1));
+            xor_lane(body, lane, &k0);
+            xor_lane(body, lane + 1, &k1);
+            lane += 2;
+        }
+        if lane < lanes {
+            let k0 = ks.mid.raw_compress(&lane_block(seq, lane));
+            xor_lane(body, lane, &k0);
+        }
+        finalize_inner(&mut h, &msg[full_msg_blocks * 64..], 64 + msg.len());
+        outer_tag(mac, &h)
     }
 }
 
@@ -511,8 +723,7 @@ impl DtlsEndpoint {
         out.put_u64(seq);
         out.put_u16((plaintext.len() + TAG_LEN) as u16);
         out.put_slice(plaintext);
-        ks.apply(seq, &mut out[HEADER_LEN..]);
-        let tag = hmac_sha256_keyed(&keys.mac, &[&out[..]]);
+        let tag = fused::seal_record(&keys.mac, ks, seq, &mut out[..]);
         out.put_slice(&tag[..TAG_LEN]);
         Ok(())
     }
@@ -568,20 +779,25 @@ impl DtlsEndpoint {
         let seq = u64::from_be_bytes(record[3..11].try_into().expect("length checked"));
         let body_end = record.len() - TAG_LEN;
         let (header_and_ct, tag) = record.split_at(body_end);
-        let expect = hmac_sha256_keyed(&keys.mac, &[header_and_ct]);
+        // Decrypt-while-MACing: the MAC reads the received ciphertext, not
+        // the keystream output, so both run as one paired-compression pass.
+        // `out` is speculatively decrypted and discarded if the tag (or the
+        // replay window) rejects the record.
+        out.clear();
+        out.reserve(body_end - HEADER_LEN);
+        out.put_slice(&header_and_ct[HEADER_LEN..]);
+        let expect = fused::open_record(&keys.mac, ks, seq, header_and_ct, &mut out[..]);
         if !pdn_crypto::ct_eq(&expect[..TAG_LEN], tag) {
+            out.clear();
             return Err(DtlsError::BadRecord);
         }
         if !self.replay.check_and_update(seq) {
+            out.clear();
             return Err(DtlsError::Replay);
         }
         if awaiting_finished {
             self.state = State::Established;
         }
-        out.clear();
-        out.reserve(body_end - HEADER_LEN);
-        out.put_slice(&header_and_ct[HEADER_LEN..]);
-        ks.apply(seq, &mut out[..]);
         Ok(())
     }
 
@@ -810,6 +1026,44 @@ mod tests {
             assert!(is_dtls(&rec));
             s.open_into(&rec, &mut pt).unwrap();
             assert_eq!(&pt[..], msg);
+        }
+    }
+
+    #[test]
+    fn fused_record_matches_unfused_reference() {
+        // The fused MAC+keystream engine must be bit-identical to the
+        // separate passes (`KeystreamKey::apply` + scatter-gather HMAC) for
+        // every block/tail shape: empty, sub-lane, sub-block, exact block
+        // multiples, pad-spill lengths, and the full record size.
+        let (mut c, _s) = pair(true);
+        let keys = c.keys.as_ref().unwrap();
+        let (ks, mac) = (keys.client_ks.clone(), keys.mac);
+        for n in [
+            0usize, 1, 13, 31, 32, 33, 50, 51, 52, 63, 64, 65, 96, 115, 127, 128, 200, 4096,
+            16_383, 16_384,
+        ] {
+            let plaintext: Vec<u8> = (0..n).map(|i| (i * 31 % 251) as u8).collect();
+            let seq = c.send_seq;
+            let mut rec = BytesMut::new();
+            c.seal_into(&plaintext, &mut rec).unwrap();
+
+            // Reference seal: header, keystream pass, HMAC pass.
+            let mut want = BytesMut::new();
+            want.put_u8(CT_APPDATA);
+            want.put_slice(&VERSION);
+            want.put_u64(seq);
+            want.put_u16((n + TAG_LEN) as u16);
+            want.put_slice(&plaintext);
+            ks.apply(seq, &mut want[HEADER_LEN..]);
+            let tag = hmac_sha256_keyed(&mac, &[&want[..]]);
+            want.put_slice(&tag[..TAG_LEN]);
+            assert_eq!(&rec[..], &want[..], "seal mismatch at n={n}");
+
+            // Fused open recovers the plaintext and computes the same tag.
+            let mut body = rec[HEADER_LEN..HEADER_LEN + n].to_vec();
+            let expect = fused::open_record(&mac, &ks, seq, &rec[..HEADER_LEN + n], &mut body);
+            assert_eq!(&expect[..TAG_LEN], &rec[HEADER_LEN + n..], "tag at n={n}");
+            assert_eq!(body, plaintext, "open mismatch at n={n}");
         }
     }
 

@@ -65,7 +65,7 @@ fn heterogeneous_swarm_completes_playback() {
         let src = VideoSource::vod("v", vec![800_000], Duration::from_secs(4), SEGMENTS);
         for rec in agent.player().played() {
             let auth = src.segment(0, rec.id.seq).unwrap();
-            assert_eq!(rec.content_hash, pdn_crypto::sha256::digest(&auth.data));
+            assert_eq!(rec.content_hash, pdn_media::content_fingerprint(&auth.data));
         }
     }
     // Meaningful P2P happened somewhere.
