@@ -1,0 +1,92 @@
+//! Throughput probe for the wide SHA-256 compressors: blocks/sec for the
+//! serial, 2-, 4-, and 8-wide paths on independent lanes. Diagnostic
+//! harness for tuning the multi-buffer kernels and sanity-checking the
+//! [`multibuffer_profitable`] dispatch the batched DTLS record engine
+//! branches on; not part of the JSON bench suite.
+//!
+//! [`multibuffer_profitable`]: pdn_crypto::sha256::multibuffer_profitable
+
+use std::time::Instant;
+
+use pdn_crypto::sha256::{compress2, compress4, compress8, Midstate, Sha256, BLOCK_LEN};
+
+fn main() {
+    let iters = 200_000u64;
+    let mk_state = |i: u8| {
+        let mut h = Sha256::new();
+        h.update(&[i; BLOCK_LEN]);
+        h.midstate()
+    };
+    let blocks: [[u8; BLOCK_LEN]; 8] = std::array::from_fn(|i| [i as u8; BLOCK_LEN]);
+
+    // Serial: 8 lanes, one at a time.
+    let mut states: [Midstate; 8] = std::array::from_fn(|i| mk_state(i as u8));
+    let t = Instant::now();
+    for _ in 0..iters {
+        for (s, b) in states.iter_mut().zip(&blocks) {
+            s.compress_in_place(b);
+        }
+    }
+    let serial = (iters * 8) as f64 / t.elapsed().as_secs_f64();
+    println!("serial   : {serial:>12.0} blocks/s");
+
+    // 2-wide.
+    let mut states: [Midstate; 8] = std::array::from_fn(|i| mk_state(i as u8));
+    let t = Instant::now();
+    for _ in 0..iters {
+        for pair in 0..4 {
+            let (a, b) = states.split_at_mut(2 * pair + 1);
+            let mut two = [a[2 * pair], b[0]];
+            let blk = [blocks[2 * pair], blocks[2 * pair + 1]];
+            compress2(&mut two, &blk);
+            a[2 * pair] = two[0];
+            b[0] = two[1];
+        }
+    }
+    let wide2 = (iters * 8) as f64 / t.elapsed().as_secs_f64();
+    println!(
+        "compress2: {wide2:>12.0} blocks/s ({:.2}x serial)",
+        wide2 / serial
+    );
+
+    // 4-wide.
+    let mut states: [Midstate; 8] = std::array::from_fn(|i| mk_state(i as u8));
+    let t = Instant::now();
+    for _ in 0..iters {
+        for half in 0..2 {
+            let mut four: [Midstate; 4] = std::array::from_fn(|i| states[4 * half + i]);
+            let blk: [[u8; BLOCK_LEN]; 4] = std::array::from_fn(|i| blocks[4 * half + i]);
+            compress4(&mut four, &blk);
+            for i in 0..4 {
+                states[4 * half + i] = four[i];
+            }
+        }
+    }
+    let wide4 = (iters * 8) as f64 / t.elapsed().as_secs_f64();
+    println!(
+        "compress4: {wide4:>12.0} blocks/s ({:.2}x serial)",
+        wide4 / serial
+    );
+
+    // 8-wide.
+    let mut states: [Midstate; 8] = std::array::from_fn(|i| mk_state(i as u8));
+    let t = Instant::now();
+    for _ in 0..iters {
+        compress8(&mut states, &blocks);
+    }
+    let wide8 = (iters * 8) as f64 / t.elapsed().as_secs_f64();
+    println!(
+        "compress8: {wide8:>12.0} blocks/s ({:.2}x serial)",
+        wide8 / serial
+    );
+
+    let wide = pdn_crypto::sha256::multibuffer_profitable();
+    println!(
+        "multibuffer_profitable: {wide} -> batch engines take the {} path",
+        if wide {
+            "wide-lane"
+        } else {
+            "per-record fused"
+        },
+    );
+}

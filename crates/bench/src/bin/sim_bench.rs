@@ -82,14 +82,39 @@ fn churn<Q>(
     while pop(q).is_some() {}
 }
 
+/// Extracts the number following `key` in a flat JSON text.
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let rest = &text[text.find(key)? + key.len()..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
 /// The committed `workload_serial_ms` from a previously written
 /// `BENCH_sim.json`, if one exists in the working directory.
 fn committed_serial_ms() -> Option<f64> {
     let text = std::fs::read_to_string("BENCH_sim.json").ok()?;
-    let key = "\"workload_serial_ms\": ";
-    let rest = &text[text.find(key)? + key.len()..];
-    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
-    rest[..end].trim().parse().ok()
+    json_f64(&text, "\"workload_serial_ms\": ")
+}
+
+/// The committed p2p+crypto share of profiled time, from the phases block
+/// of a previously written `BENCH_sim.json`.
+fn committed_hot_share() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_sim.json").ok()?;
+    let profiled = json_f64(&text, "\"workload_profiled_ms\": ")?;
+    let p2p = json_f64(&text, "\"p2p\": {\"ms\": ")?;
+    let crypto = json_f64(&text, "\"crypto\": {\"ms\": ")?;
+    (profiled > 0.0).then(|| (p2p + crypto) / profiled)
+}
+
+/// The p2p+crypto share of one profiled pass, probe-calibrated the same
+/// way the JSON phases block is.
+fn hot_share(profiled_ms: f64, snap: &[profile::PhaseTotals; 6]) -> f64 {
+    let hot: f64 = snap
+        .iter()
+        .filter(|t| matches!(t.phase, profile::Phase::P2p | profile::Phase::Crypto))
+        .map(|t| t.calibrated_nanos() as f64 / 1e6)
+        .sum();
+    hot / profiled_ms
 }
 
 /// Runs one profiled serial workload pass and returns the phase totals.
@@ -113,13 +138,23 @@ fn main() {
     // `--profile`: one serial pass with phase accounting on; the report is
     // self-inclusive per phase (crypto nests inside tick/p2p).
     if std::env::args().any(|a| a == "--profile") {
+        let probe_ns = profile::calibrate_probe_cost();
         let (wall_ms, snap) = profiled_pass(&workload);
-        println!("workload_serial_ms: {wall_ms:.2} (profiled)");
+        let overhead_ms = snap
+            .iter()
+            .map(|t| t.count)
+            .sum::<u64>()
+            .saturating_mul(probe_ns) as f64
+            / 1e6;
+        println!(
+            "workload_serial_ms: {wall_ms:.2} (profiled; probe {probe_ns} ns/entry, \
+             overhead {overhead_ms:.2} ms)"
+        );
         for t in snap {
             println!(
                 "  phase {:<8} {:>10.2} ms  ({} entries)",
                 t.phase.label(),
-                t.nanos as f64 / 1e6,
+                t.calibrated_nanos() as f64 / 1e6,
                 t.count
             );
         }
@@ -149,6 +184,27 @@ fn main() {
                 println!("workload_serial_ms: {serial_ms:.2}");
                 eprintln!("note: no committed BENCH_sim.json; skipping the regression gate");
             }
+        }
+        // Per-phase budget gate: the p2p+crypto share of profiled time
+        // must not regress >10% (relative) over the committed run —
+        // catching hot-path regressions that total wall time alone can
+        // hide behind improvements elsewhere.
+        if let Some(committed) = committed_hot_share() {
+            profile::calibrate_probe_cost();
+            let (profiled_ms, snap) = profiled_pass(&workload);
+            let share = hot_share(profiled_ms, &snap);
+            println!(
+                "p2p+crypto profiled share: {share:.3} (committed {committed:.3}, \
+                 ratio {:.2})",
+                share / committed
+            );
+            assert!(
+                share <= committed * 1.10,
+                "p2p+crypto share of profiled time regressed >10% vs committed \
+                 BENCH_sim.json ({share:.3} vs {committed:.3})"
+            );
+        } else {
+            eprintln!("note: no committed phase shares; skipping the phase budget gate");
         }
         return;
     }
@@ -220,14 +276,23 @@ fn main() {
 
     // One profiled pass for the per-phase attribution (wall time of this
     // pass is reported separately — the guards add measurement overhead).
+    // Probe cost is calibrated first and subtracted per entry, so phases
+    // with many cheap entries no longer overstate their share.
+    let probe_ns = profile::calibrate_probe_cost();
     let (profiled_ms, snap) = profiled_pass(&workload);
+    let overhead_ms = snap
+        .iter()
+        .map(|t| t.count)
+        .sum::<u64>()
+        .saturating_mul(probe_ns) as f64
+        / 1e6;
     let phase_json: Vec<String> = snap
         .iter()
         .map(|t| {
             format!(
                 "\"{}\": {{\"ms\": {:.2}, \"entries\": {}}}",
                 t.phase.label(),
-                t.nanos as f64 / 1e6,
+                t.calibrated_nanos() as f64 / 1e6,
                 t.count
             )
         })
@@ -241,7 +306,9 @@ fn main() {
          \"queue_events_per_sec_new\": {new_eps:.0},\n  \"queue_events_per_sec_old\": {old_eps:.0},\n  \
          \"queue_speedup\": {:.2},\n  \"workload_serial_ms\": {serial_ms:.2},\n  \
          \"workload_parallel_ms\": {parallel_ms:.2},\n  \"workload_speedup\": {:.2},\n  \
-         \"workload_profiled_ms\": {profiled_ms:.2},\n  \"phases\": {{{}}},\n  \
+         \"workload_profiled_ms\": {profiled_ms:.2},\n  \
+         \"profiler_overhead_ms\": {overhead_ms:.2},\n  \"probe_cost_ns\": {probe_ns},\n  \
+         \"phases\": {{{}}},\n  \
          \"workers\": 8,\n  \"pool_mode\": \"{pool_mode}\",\n  \
          \"identical_across_workers\": {identical}\n}}\n",
         new_eps / old_eps,

@@ -218,6 +218,18 @@ pub enum Event {
         /// address realm when behind NAT.
         dgram: Datagram,
     },
+    /// A batch of datagrams from one [`Network::send_burst`] call arriving
+    /// at a node as a single unit, scheduled when the last frame finishes
+    /// reception (receive-side aggregation, as a NIC's GRO does). Frames
+    /// are in send order; per-frame loss, jitter, capture, and bandwidth
+    /// accounting are identical to sequential [`Network::send`] calls.
+    Burst {
+        /// Receiving node.
+        to: NodeId,
+        /// The surviving datagrams, each translated like a
+        /// [`Event::Packet`] delivery.
+        dgrams: Vec<Datagram>,
+    },
     /// A timer set via [`Network::set_timer`] firing.
     Timer {
         /// The node the timer belongs to.
@@ -587,6 +599,7 @@ impl Network {
             payload,
             sender_has_tap,
             &mut None,
+            None,
         )
     }
 
@@ -595,10 +608,16 @@ impl Network {
     ///
     /// Per-frame behaviour — taps, NAT egress state, capture, loss and
     /// jitter draws, bandwidth chaining — is *identical* to calling
-    /// [`Network::send`] once per frame, in order; the batch only hoists
-    /// the per-send bookkeeping: the sender's tap lookup happens once, and
+    /// [`Network::send`] once per frame, in order; the batch hoists the
+    /// per-send bookkeeping: the sender's tap lookup happens once, and
     /// route resolution (public table + NAT ingress + private table) is
     /// computed once and reused for every frame the tap didn't redirect.
+    ///
+    /// Delivery is aggregated: the frames surviving to one destination
+    /// arrive together as a single [`Event::Burst`] scheduled at the
+    /// moment the *last* of them finishes reception (a lone survivor
+    /// degrades to a plain [`Event::Packet`]). The receiver then decodes
+    /// the whole burst in one pass instead of N event dispatches.
     pub fn send_burst(
         &mut self,
         node: NodeId,
@@ -609,7 +628,8 @@ impl Network {
     ) -> Vec<SendOutcome> {
         let sender_has_tap = self.taps.contains_key(&node);
         let mut route_cache = None;
-        frames
+        let mut pending: Vec<(SimTime, NodeId, Datagram)> = Vec::new();
+        let outcomes: Vec<SendOutcome> = frames
             .into_iter()
             .map(|payload| {
                 self.send_inner(
@@ -620,9 +640,36 @@ impl Network {
                     payload,
                     sender_has_tap,
                     &mut route_cache,
+                    Some(&mut pending),
                 )
             })
-            .collect()
+            .collect();
+        // Group surviving frames by destination, preserving send order.
+        // Redirecting taps can split a burst across destinations; each
+        // group becomes one event at its own last delivery completion
+        // (per-destination `deliver_at` is monotone: reception chains on
+        // `down_free_at`).
+        while let Some(&(first_at, to, _)) = pending.first() {
+            let mut at = first_at;
+            let mut dgrams = Vec::new();
+            let mut rest = Vec::new();
+            for (t, n, d) in pending.drain(..) {
+                if n == to {
+                    at = at.max(t);
+                    dgrams.push(d);
+                } else {
+                    rest.push((t, n, d));
+                }
+            }
+            if dgrams.len() == 1 {
+                let dgram = dgrams.pop().expect("length checked");
+                self.queue.push(at, Event::Packet { to, dgram });
+            } else {
+                self.queue.push(at, Event::Burst { to, dgrams });
+            }
+            pending = rest;
+        }
+        outcomes
     }
 
     #[allow(clippy::too_many_arguments)] // internal: the two send entry points above fan in here
@@ -635,6 +682,7 @@ impl Network {
         payload: Bytes,
         sender_has_tap: bool,
         route_cache: &mut Option<(NodeId, Addr)>,
+        burst_buf: Option<&mut Vec<(SimTime, NodeId, Datagram)>>,
     ) -> SendOutcome {
         if !self.node(node).alive {
             return SendOutcome::Dropped(DropReason::NodeDown);
@@ -744,13 +792,20 @@ impl Network {
         self.nodes[node.0 as usize].res.record_tx(len);
         self.nodes[dest_node.0 as usize].res.record_rx(len);
 
-        self.queue.push(
-            deliver_at,
-            Event::Packet {
-                to: dest_node,
-                dgram: delivered_dgram,
-            },
-        );
+        match burst_buf {
+            // Burst sends defer enqueueing so the caller can aggregate
+            // all survivors to one destination into a single event.
+            Some(buf) => buf.push((deliver_at, dest_node, delivered_dgram)),
+            None => {
+                self.queue.push(
+                    deliver_at,
+                    Event::Packet {
+                        to: dest_node,
+                        dgram: delivered_dgram,
+                    },
+                );
+            }
+        }
         SendOutcome::Sent { deliver_at }
     }
 
@@ -1313,23 +1368,57 @@ mod tests {
             "capture rings must match byte for byte"
         );
 
-        loop {
-            let a = seq_net.step();
-            let b = burst_net.step();
-            match (a, b) {
-                (None, None) => break,
-                (
-                    Some((at_a, Event::Packet { to: ta, dgram: da })),
-                    Some((at_b, Event::Packet { to: tb, dgram: db })),
-                ) => {
-                    assert_eq!(at_a, at_b);
-                    assert_eq!(ta, tb);
-                    assert_eq!(da.src, db.src);
-                    assert_eq!(da.dst, db.dst);
-                    assert_eq!(da.payload, db.payload);
-                }
-                (a, b) => panic!("event streams diverged: {a:?} vs {b:?}"),
+        // The sequential net delivers N packets; the burst net must
+        // deliver the *same* datagrams as one Event::Burst scheduled at
+        // the last sequential delivery time (receive-side aggregation).
+        let mut seq_deliveries = Vec::new();
+        while let Some((at, ev)) = seq_net.step() {
+            match ev {
+                Event::Packet { to, dgram } => seq_deliveries.push((at, to, dgram)),
+                other => panic!("unexpected sequential event: {other:?}"),
             }
         }
+        assert!(
+            seq_deliveries.len() >= 2,
+            "seed must deliver enough frames to form a burst"
+        );
+        let (at, ev) = burst_net.step().expect("the burst arrives as one event");
+        match ev {
+            Event::Burst { to, dgrams } => {
+                let (last_at, seq_to, _) = *seq_deliveries.last().expect("non-empty");
+                assert_eq!(at, last_at, "burst lands when its last frame finishes");
+                assert_eq!(to, seq_to);
+                assert_eq!(dgrams.len(), seq_deliveries.len());
+                for ((_, _, sd), bd) in seq_deliveries.iter().zip(&dgrams) {
+                    assert_eq!(sd.src, bd.src);
+                    assert_eq!(sd.dst, bd.dst);
+                    assert_eq!(sd.payload, bd.payload);
+                }
+            }
+            other => panic!("expected a burst event, got {other:?}"),
+        }
+        assert!(burst_net.step().is_none(), "no further burst-net events");
+    }
+
+    #[test]
+    fn single_survivor_burst_degrades_to_packet() {
+        let mut net = Network::new(7);
+        let geo = GeoInfo::new("US", 1, "AS1");
+        let a = net.add_public_host(geo.clone(), LinkSpec::datacenter());
+        let b = net.add_public_host(geo, LinkSpec::datacenter());
+        let dst = Addr::from_ip(net.ip(b), 443);
+        let outcomes = net.send_burst(
+            a,
+            4000,
+            dst,
+            Transport::Udp,
+            vec![Bytes::from_static(b"one")],
+        );
+        assert!(matches!(outcomes[0], SendOutcome::Sent { .. }));
+        let (_, ev) = net.step().expect("delivered");
+        assert!(
+            matches!(ev, Event::Packet { .. }),
+            "a lone frame arrives as a plain packet, not a burst"
+        );
     }
 }

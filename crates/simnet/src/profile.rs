@@ -149,6 +149,53 @@ pub fn phase(phase: Phase) -> PhaseGuard {
     }
 }
 
+/// Measured cost of one enabled guard entry+drop, in nanoseconds
+/// (set by [`calibrate_probe_cost`]; zero until calibrated).
+static PROBE_COST_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Measures the wall-clock cost of one enabled guard pair (clock read on
+/// entry, clock read + two atomic adds on drop) and stores it for
+/// [`probe_cost_nanos`]. Run once before a profiled pass; the result lets
+/// reports subtract probe overhead so high-entry cheap phases are not
+/// overstated relative to an unprofiled run.
+///
+/// Returns the per-entry cost in nanoseconds.
+pub fn calibrate_probe_cost() -> u64 {
+    let was_enabled = enabled();
+    set_enabled(true);
+    // Warm the clock and the atomics, then time a tight guard loop. The
+    // loop is long enough to dominate the two boundary clock reads.
+    for _ in 0..1_000 {
+        drop(phase(Phase::Capture));
+    }
+    const ITERS: u64 = 200_000;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        drop(phase(Phase::Capture));
+    }
+    let per_entry = (t0.elapsed().as_nanos() as u64) / ITERS;
+    set_enabled(was_enabled);
+    PROBE_COST_NANOS.store(per_entry, Ordering::Relaxed);
+    per_entry
+}
+
+/// Last calibrated per-entry probe cost in nanoseconds (zero if
+/// [`calibrate_probe_cost`] has not run).
+pub fn probe_cost_nanos() -> u64 {
+    PROBE_COST_NANOS.load(Ordering::Relaxed)
+}
+
+impl PhaseTotals {
+    /// Nanoseconds with the calibrated probe cost removed: measured time
+    /// minus `count` probe entries, saturating at zero. Phases with many
+    /// cheap entries (P2p dispatch, Capture) otherwise overstate their
+    /// share of a profiled run versus the unprofiled wall clock.
+    pub fn calibrated_nanos(&self) -> u64 {
+        self.nanos
+            .saturating_sub(self.count.saturating_mul(probe_cost_nanos()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +208,29 @@ mod tests {
         let snap = snapshot();
         assert_eq!(snap[0].count, 0);
         assert_eq!(snap[0].nanos, 0);
+    }
+
+    #[test]
+    fn calibration_sets_probe_cost_and_calibrated_nanos_subtracts_it() {
+        let cost = calibrate_probe_cost();
+        assert_eq!(probe_cost_nanos(), cost);
+        let t = PhaseTotals {
+            phase: Phase::P2p,
+            nanos: 10 * cost.max(1),
+            count: 4,
+        };
+        assert_eq!(
+            t.calibrated_nanos(),
+            t.nanos.saturating_sub(4 * cost),
+            "probe cost is removed per entry"
+        );
+        let tiny = PhaseTotals {
+            phase: Phase::Capture,
+            nanos: 1,
+            count: u64::MAX / 2,
+        };
+        assert_eq!(tiny.calibrated_nanos(), 0, "saturates at zero");
+        PROBE_COST_NANOS.store(0, Ordering::Relaxed);
     }
 
     #[test]

@@ -423,7 +423,7 @@ mod tests {
     fn tok(ev: &Event) -> u64 {
         match ev {
             Event::Timer { token, .. } => *token,
-            Event::Packet { .. } => unreachable!("tests use timers"),
+            _ => unreachable!("tests use timers"),
         }
     }
 

@@ -6,10 +6,9 @@
 //! message boundaries — the unit the PDN scheduler and the pollution
 //! attacks operate on.
 
-use std::collections::HashMap;
-
 use bytes::{BufMut, Bytes, BytesMut};
 use pdn_simnet::wire::{get_uvarint, put_uvarint, MAX_UVARINT_LEN};
+use pdn_simnet::FxHashMap;
 
 use crate::dtls::{DtlsEndpoint, DtlsError, MAX_RECORD_PLAINTEXT};
 
@@ -34,10 +33,18 @@ struct Partial {
 pub struct DataChannel {
     dtls: DtlsEndpoint,
     next_msg_id: u64,
-    partials: HashMap<u64, Partial>,
-    /// Reused chunk-frame staging buffer: after the first full-size chunk,
-    /// `send_message` performs no per-chunk frame allocation.
-    frame: BytesMut,
+    partials: FxHashMap<u64, Partial>,
+    /// Reused chunk-frame staging buffers: after the first message of a
+    /// given chunk count, `send_message` performs no per-chunk frame
+    /// allocation. One buffer per record so a whole flush can be sealed
+    /// as a single batch.
+    frames: Vec<BytesMut>,
+    /// Reused seal output buffers (the sealed bytes themselves leave as
+    /// frozen `Bytes`, but the `Vec` and its headroom persist).
+    seal_outs: Vec<BytesMut>,
+    /// Reused batch-open scratch: plaintext buffers and per-record verdicts.
+    open_outs: Vec<BytesMut>,
+    open_results: Vec<Result<(), DtlsError>>,
 }
 
 impl DataChannel {
@@ -54,8 +61,11 @@ impl DataChannel {
         DataChannel {
             dtls,
             next_msg_id: 0,
-            partials: HashMap::new(),
-            frame: BytesMut::new(),
+            partials: FxHashMap::default(),
+            frames: Vec::new(),
+            seal_outs: Vec::new(),
+            open_outs: Vec::new(),
+            open_results: Vec::new(),
         }
     }
 
@@ -66,6 +76,11 @@ impl DataChannel {
 
     /// Encrypts `message` into one or more wire records.
     ///
+    /// The whole flush is sealed as one DTLS batch: every chunk frame is
+    /// staged first, then a single [`DtlsEndpoint::seal_batch_into`] call
+    /// runs one keystream pipeline and one wide HMAC pass over all records
+    /// instead of N independent seals.
+    ///
     /// # Errors
     ///
     /// Propagates DTLS sealing errors.
@@ -74,27 +89,26 @@ impl DataChannel {
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
         let total = message.len().div_ceil(CHUNK_DATA).max(1) as u64;
-        let mut records = Vec::with_capacity(total as usize);
+        let n = total as usize;
+        if self.frames.len() < n {
+            self.frames.resize_with(n, BytesMut::new);
+        }
         let mut chunks = message.chunks(CHUNK_DATA);
-        let mut frame = std::mem::take(&mut self.frame);
-        for idx in 0..total {
+        for (idx, frame) in self.frames[..n].iter_mut().enumerate() {
             let body = chunks.next().unwrap_or(&[]);
             frame.clear();
             frame.reserve(MAX_CHUNK_HEADER + body.len());
-            put_uvarint(&mut frame, msg_id);
-            put_uvarint(&mut frame, idx);
-            put_uvarint(&mut frame, total);
+            put_uvarint(frame, msg_id);
+            put_uvarint(frame, idx as u64);
+            put_uvarint(frame, total);
             frame.put_slice(body);
-            let sealed = self.dtls.seal(&frame);
-            match sealed {
-                Ok(record) => records.push(record),
-                Err(e) => {
-                    self.frame = frame;
-                    return Err(e);
-                }
-            }
         }
-        self.frame = frame;
+        let refs: Vec<&[u8]> = self.frames[..n].iter().map(|f| f.as_ref()).collect();
+        self.dtls.seal_batch_into(&refs, &mut self.seal_outs)?;
+        let mut records = Vec::with_capacity(n);
+        for out in &mut self.seal_outs[..n] {
+            records.push(std::mem::take(out).freeze());
+        }
         Ok(records)
     }
 
@@ -110,6 +124,33 @@ impl DataChannel {
             self.dtls.open(record)?
         };
         self.ingest_plaintext(frame)
+    }
+
+    /// Feeds a burst of wire records in one pass; completed messages are
+    /// appended to `msgs` in record order.
+    ///
+    /// All records are opened with one [`DtlsEndpoint::open_batch_into`]
+    /// call (one keystream pipeline, one wide HMAC pass) before any chunk
+    /// is reassembled. Records that fail authentication, replay, or chunk
+    /// framing are skipped — the same outcome as the per-record receive
+    /// path, where the harness drops erroring records.
+    pub fn receive_batch(&mut self, records: &[Bytes], msgs: &mut Vec<Bytes>) {
+        {
+            let _g = pdn_simnet::profile::phase(pdn_simnet::profile::Phase::Crypto);
+            self.dtls
+                .open_batch_into(records, &mut self.open_outs, &mut self.open_results);
+        }
+        for i in 0..records.len() {
+            if self.open_results[i].is_err() {
+                continue;
+            }
+            // Moving the buffer out hands the decrypted bytes to
+            // reassembly without a copy; the slot is regrown next batch.
+            let frame = std::mem::take(&mut self.open_outs[i]).freeze();
+            if let Ok(Some(msg)) = self.ingest_plaintext(frame) {
+                msgs.push(msg);
+            }
+        }
     }
 
     /// Feeds an already-decrypted chunk frame (used when the harness opened
@@ -228,6 +269,55 @@ mod tests {
         let m2 = b.receive_record(&r2[1]).unwrap().unwrap();
         assert_eq!(&m1[..], big1.as_slice());
         assert_eq!(&m2[..], big2.as_slice());
+    }
+
+    #[test]
+    fn receive_batch_reassembles_multi_record_message() {
+        let (mut a, mut b) = channel_pair();
+        let payload: Vec<u8> = (0..3 * CHUNK_DATA + 17).map(|i| (i % 251) as u8).collect();
+        let records = a.send_message(&payload).unwrap();
+        assert_eq!(records.len(), 4);
+        let mut msgs = Vec::new();
+        b.receive_batch(&records, &mut msgs);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(&msgs[0][..], payload.as_slice());
+        assert_eq!(b.pending_messages(), 0);
+    }
+
+    #[test]
+    fn receive_batch_skips_damaged_records() {
+        let (mut a, mut b) = channel_pair();
+        let m1 = a.send_message(b"first").unwrap();
+        let m2 = a.send_message(b"second").unwrap();
+        let m3 = a.send_message(b"third").unwrap();
+        let mut bad = m2[0].to_vec();
+        let n = bad.len();
+        bad[n - 1] ^= 1;
+        let wire = vec![m1[0].clone(), Bytes::from(bad), m3[0].clone()];
+        let mut msgs = Vec::new();
+        b.receive_batch(&wire, &mut msgs);
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(&msgs[0][..], b"first");
+        assert_eq!(&msgs[1][..], b"third");
+    }
+
+    #[test]
+    fn receive_batch_matches_per_record_path() {
+        let (mut a, mut b_batch) = channel_pair();
+        let (mut a2, mut b_seq) = channel_pair();
+        let payload: Vec<u8> = (0..2 * CHUNK_DATA + 5).map(|i| (i % 101) as u8).collect();
+        let records = a.send_message(&payload).unwrap();
+        let records2 = a2.send_message(&payload).unwrap();
+        assert_eq!(records, records2, "seeded pairs seal identically");
+        let mut msgs = Vec::new();
+        b_batch.receive_batch(&records, &mut msgs);
+        let mut seq_msgs = Vec::new();
+        for r in &records {
+            if let Some(m) = b_seq.receive_record(r).unwrap() {
+                seq_msgs.push(m);
+            }
+        }
+        assert_eq!(msgs, seq_msgs);
     }
 
     #[test]

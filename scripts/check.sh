@@ -28,13 +28,17 @@ cargo bench --offline --workspace --no-run
 
 echo "==> hot-path hash lint (no std::collections::HashMap on swarm-state hot paths)"
 # The swarm-state engine (PR 5) moved the signaling server, SDK scheduler,
-# and simnet router onto FxHash/slab/bitmap structures. SipHash maps must
-# not creep back into those files; the preserved baseline
-# (state_baseline.rs) and test code are exempt by not being listed here.
+# and simnet router onto FxHash/slab/bitmap structures, and the batched
+# record engine (PR 6) extends the same stance to the DTLS record layer
+# and data channel. SipHash maps must not creep back into those files;
+# the preserved baseline (state_baseline.rs) and test code are exempt by
+# not being listed here.
 hot_paths=(
   crates/provider/src/sdk.rs
   crates/provider/src/signaling.rs
   crates/simnet/src/net.rs
+  crates/webrtc/src/dtls.rs
+  crates/webrtc/src/channel.rs
 )
 if grep -n "std::collections::HashMap" "${hot_paths[@]}"; then
   echo "error: std::collections::HashMap on a swarm-state hot path (use FxHashMap/slab/bitmap structures)" >&2
