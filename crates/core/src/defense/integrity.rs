@@ -143,12 +143,14 @@ fn run_group(label: &'static str, pdn: bool, im: bool, secs: u64, seed: u64) -> 
         .map(|x| world.net().resources(*x).summary().mean_mem_bytes)
         .sum::<f64>()
         / n;
-    let mut latencies: Vec<Duration> = Vec::new();
+    let mut lat_sum = Duration::ZERO;
+    let mut lat_count: u64 = 0;
     for x in &nodes {
-        latencies.extend_from_slice(world.agent(*x).p2p_latencies());
+        let (sum, count) = world.agent(*x).p2p_latency_stats();
+        lat_sum += sum;
+        lat_count += count;
     }
-    let latency = (!latencies.is_empty())
-        .then(|| latencies.iter().sum::<Duration>() / latencies.len() as u32);
+    let latency = (lat_count > 0).then(|| lat_sum / lat_count as u32);
     TableVIRow {
         label,
         pdn,

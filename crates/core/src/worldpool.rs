@@ -16,20 +16,11 @@
 //! never from thread identity or completion order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 
-/// The host's available parallelism, probed once. Spawning scoped threads
-/// on a 1-core host only adds spawn/join and cache-handoff overhead (the
-/// measured 0.91x of BENCH_sim.json), so the pool falls back to inline
-/// execution there regardless of the requested worker count.
-fn host_parallelism() -> usize {
-    static HOST: OnceLock<usize> = OnceLock::new();
-    *HOST.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
-}
+// One probe serves both executors: `WorldPool` (across worlds) and the
+// shard runner (inside one world) must agree on whether this host can
+// actually run threads in parallel, or benches would report mixed modes.
+use pdn_simnet::shard::host_parallelism;
 
 /// A pool of worker threads that evaluates independent world jobs in
 /// parallel while preserving serial-equivalent output order.

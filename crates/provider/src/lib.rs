@@ -40,6 +40,7 @@ pub mod sdk;
 pub mod signaling;
 pub mod state;
 pub mod state_baseline;
+pub mod swarm;
 pub mod wire;
 pub mod world;
 
@@ -49,4 +50,5 @@ pub use profiles::{AuthScheme, CellularPolicy, ProviderKind, ProviderProfile};
 pub use proto::{HttpRequest, HttpResponse, P2pMsg, SignalMsg};
 pub use sdk::{AgentConfig, AgentOut, PdnAgent};
 pub use signaling::{compute_im, DefenseStats, MatchingPolicy, SignalingServer};
+pub use swarm::{RegionStats, SwarmConfig, SwarmWorld};
 pub use world::{PdnWorld, ViewerSpec};

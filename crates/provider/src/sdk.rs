@@ -265,7 +265,12 @@ pub struct PdnAgent {
     p2p_up: u64,
     p2p_down: u64,
     cdn_down: u64,
-    p2p_latencies: Vec<Duration>,
+    /// Running sum/count of request→delivery latencies for peer-served
+    /// segments. The only consumer (Table VI) needs the mean, so an
+    /// unbounded `Vec<Duration>` here was pure memory growth — ~16 bytes
+    /// per delivered segment per agent, forever.
+    p2p_lat_sum: Duration,
+    p2p_lat_count: u64,
     reported_up: u64,
     reported_down: u64,
     last_stats: SimTime,
@@ -334,7 +339,8 @@ impl PdnAgent {
             p2p_up: 0,
             p2p_down: 0,
             cdn_down: 0,
-            p2p_latencies: Vec::new(),
+            p2p_lat_sum: Duration::ZERO,
+            p2p_lat_count: 0,
             reported_up: 0,
             reported_down: 0,
             last_stats: SimTime::ZERO,
@@ -761,10 +767,12 @@ impl PdnAgent {
         (self.p2p_up, self.p2p_down, self.cdn_down)
     }
 
-    /// Request→delivery latencies of peer-served segments (§V-B Table VI;
-    /// includes modeled IM hash time when integrity checking is on).
-    pub fn p2p_latencies(&self) -> &[Duration] {
-        &self.p2p_latencies
+    /// `(sum, count)` of request→delivery latencies of peer-served
+    /// segments (§V-B Table VI; includes modeled IM hash time when
+    /// integrity checking is on). Kept as running totals so the agent's
+    /// steady-state footprint stays flat regardless of session length.
+    pub fn p2p_latency_stats(&self) -> (Duration, u64) {
+        (self.p2p_lat_sum, self.p2p_lat_count)
     }
 
     /// Segments rejected by integrity verification.
@@ -1075,6 +1083,9 @@ impl PdnAgent {
                 let mut chan = DataChannel::new(ep);
                 let msg = chan.ingest_plaintext(frame).ok().flatten();
                 conn.chan = Some(chan);
+                // The retransmit loop skips established connections, so
+                // the saved ClientHello can never be needed again.
+                conn.client_hello = None;
                 out.extend(self.flush_conn(idx, now));
                 if let Some(bytes) = msg {
                     let remote_peer = self.conns[idx].remote_peer;
@@ -1090,6 +1101,7 @@ impl PdnAgent {
             if conn.dtls.as_ref().is_some_and(DtlsEndpoint::is_established) {
                 let ep = conn.dtls.take().expect("checked");
                 conn.chan = Some(DataChannel::new(ep));
+                conn.client_hello = None; // established; no retransmit ahead
                 if let Some(f) = flight {
                     out.push(self.udp_out(from, f));
                 }
@@ -1297,7 +1309,8 @@ impl PdnAgent {
             if self.config.integrity_check {
                 lat += hash_cost(data.len()) * 2;
             }
-            self.p2p_latencies.push(lat);
+            self.p2p_lat_sum += lat;
+            self.p2p_lat_count += 1;
         }
         self.p2p_down += data.len() as u64;
         let segment = Segment {
@@ -1664,6 +1677,31 @@ mod tests {
     fn playlist_text() -> String {
         let src = pdn_media::VideoSource::vod("v", vec![400_000], Duration::from_secs(4), 10);
         MediaPlaylist::for_source(&src, 0, 0, 10).encode()
+    }
+
+    /// Inline-size ceilings for the structs every simulated viewer pays
+    /// for. These are tracked budgets, not aspirations: growing one is
+    /// fine when deliberate — bump the bound in the same change and say
+    /// why. (The aggregate-swarm peer has the hard <1 KB diet; see
+    /// `crate::swarm::CompactPeer`.)
+    #[test]
+    fn hot_struct_sizes_stay_budgeted() {
+        assert!(
+            std::mem::size_of::<Conn>() <= 2048,
+            "Conn grew past 2 KB inline (now {}): a full-fidelity agent \
+             pays this per neighbor connection",
+            std::mem::size_of::<Conn>()
+        );
+        assert!(
+            std::mem::size_of::<PdnAgent>() <= 1536,
+            "PdnAgent inline size grew (now {})",
+            std::mem::size_of::<PdnAgent>()
+        );
+        assert!(
+            std::mem::size_of::<pdn_media::Player>() <= 128,
+            "Player inline size grew (now {})",
+            std::mem::size_of::<pdn_media::Player>()
+        );
     }
 
     #[test]

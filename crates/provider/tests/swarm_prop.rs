@@ -1,0 +1,83 @@
+//! Property tests for the conservative-PDES swarm engine.
+//!
+//! The shard runner asserts at every barrier that no cross-shard message
+//! is stamped before the window it was generated in ends (`at >= end`) —
+//! the conservative-lookahead invariant. These properties drive worlds
+//! with randomized link latencies, jitter, and bandwidths through the
+//! threaded runner: any configuration whose message stamping violated the
+//! window would panic inside `run_sharded`, and any scheduling leak would
+//! break the K=1 vs K=4 table equality.
+
+use std::time::Duration;
+
+use pdn_provider::swarm::{SwarmConfig, SwarmWorld};
+use pdn_simnet::shard::ShardMode;
+use proptest::prelude::*;
+
+fn randomized_cfg(
+    near_ms: u64,
+    far_ms: u64,
+    tracker_ms: u64,
+    jitter_ms: u64,
+    seed: u64,
+) -> SwarmConfig {
+    let mut cfg = SwarmConfig::quick(120);
+    cfg.segments = 8;
+    cfg.duration = Duration::from_secs(90);
+    cfg.join_window = Duration::from_secs(15);
+    // Latency structure under test: `lookahead()` must bound every link
+    // that can cross shards. Near (same-region) links may be arbitrarily
+    // fast — they never cross a shard boundary.
+    cfg.near_latency = Duration::from_millis(near_ms);
+    cfg.far_latency = Duration::from_millis(far_ms);
+    cfg.tracker_latency = Duration::from_millis(tracker_ms);
+    cfg.jitter = Duration::from_millis(jitter_ms);
+    cfg.seed = seed;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized cross-shard latencies never violate the lookahead
+    /// window: `run_sharded` panics on any message delivered into a
+    /// window that already started, so completing the run IS the proof.
+    #[test]
+    fn random_latencies_respect_the_lookahead_window(
+        near_ms in 1u64..40,
+        far_ms in 5u64..200,
+        tracker_ms in 5u64..200,
+        jitter_ms in 0u64..20,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = randomized_cfg(near_ms, far_ms, tracker_ms, jitter_ms, seed);
+        let mut world = SwarmWorld::new(&cfg, 4);
+        let report = world.run(ShardMode::Threaded);
+        prop_assert!(report.windows > 0, "the world actually ran");
+        prop_assert!(world.total_events() > 0);
+    }
+
+    /// The same randomized configuration produces byte-identical tables
+    /// serial (K=1) and sharded (K=4, threaded).
+    #[test]
+    fn random_configs_are_shard_count_invariant(
+        near_ms in 1u64..40,
+        far_ms in 5u64..200,
+        tracker_ms in 5u64..200,
+        jitter_ms in 0u64..20,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = randomized_cfg(near_ms, far_ms, tracker_ms, jitter_ms, seed);
+        let serial = {
+            let mut w = SwarmWorld::new(&cfg, 1);
+            w.run(ShardMode::Inline);
+            w.table()
+        };
+        let sharded = {
+            let mut w = SwarmWorld::new(&cfg, 4);
+            w.run(ShardMode::Threaded);
+            w.table()
+        };
+        prop_assert_eq!(serial, sharded);
+    }
+}

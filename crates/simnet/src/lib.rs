@@ -47,6 +47,7 @@ mod queue;
 mod resources;
 mod rng;
 mod route;
+pub mod shard;
 mod time;
 pub mod wire;
 
@@ -58,7 +59,7 @@ pub use net::{
     CaptureFilter, CapturedFrame, Datagram, DropReason, Event, LinkSpec, NatId, Network, NodeId,
     SendOutcome, TapDirection, TapFn, TapVerdict, TimerId, Transport, DEFAULT_CAPTURE_LIMIT,
 };
-pub use queue::{EventId, EventQueue, EventQueueStats, HeapMapQueue};
+pub use queue::{CalendarQueue, EventId, EventQueue, EventQueueStats, HeapMapQueue};
 pub use resources::{series_to_csv, ResourceModel, ResourceSample, ResourceSummary};
 pub use rng::SimRng;
 pub use route::RouteTable;

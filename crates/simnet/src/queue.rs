@@ -1,9 +1,9 @@
 //! The simulator's event scheduler: a slab-backed calendar queue.
 //!
-//! [`EventQueue`] replaces the original two-structure scheduler (a
+//! [`CalendarQueue`] replaces the original two-structure scheduler (a
 //! `BinaryHeap<Reverse<(time, seq)>>` ordering index plus a side
 //! `HashMap<seq, Event>` payload store) with a single indexed priority
-//! queue that stores every [`Event`] inline:
+//! queue that stores every payload inline:
 //!
 //! - **Timer-wheel front end.** Near-term events — the overwhelming
 //!   majority in a streaming simulation, where deliveries land a few
@@ -22,10 +22,16 @@
 //! - **Zero per-event hashing.** No `HashMap` anywhere: every lookup is an
 //!   array index.
 //!
-//! Pop order is strictly `(time, sequence)` — identical to the old
+//! Pop order is strictly `(time, sequence)`. With [`CalendarQueue::push`]
+//! the sequence is an internal schedule counter — identical to the old
 //! scheduler, which the differential tests against [`HeapMapQueue`] (the
 //! old design, kept as the reference implementation and the `sim_bench`
-//! baseline) pin down.
+//! baseline) pin down. [`CalendarQueue::push_keyed`] instead takes the
+//! tie-break key from the caller, which is what the sharded runner needs:
+//! a key derived from event *content* (origin node, per-origin counter)
+//! pops in the same order no matter which shard pushed it first, making
+//! merge results independent of shard count. The [`EventQueue`] alias
+//! (payload = [`Event`]) is the `Network` scheduler.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -42,7 +48,7 @@ const WHEEL_BUCKETS: usize = 2048;
 /// Handle to a scheduled event, for cancellation.
 ///
 /// Generation-tagged: a handle becomes stale once the event fires or is
-/// cancelled, and [`EventQueue::cancel`] on a stale handle is a no-op.
+/// cancelled, and [`CalendarQueue::cancel`] on a stale handle is a no-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventId {
     slot: u32,
@@ -80,11 +86,11 @@ enum Loc {
 }
 
 #[derive(Debug)]
-struct Slot {
+struct Slot<T> {
     gen: u32,
     seq: u64,
     loc: Loc,
-    ev: Option<Event>,
+    ev: Option<T>,
 }
 
 /// Occupancy counters of the queue, exposed for capacity assertions.
@@ -102,10 +108,11 @@ pub struct EventQueueStats {
     pub overflow: usize,
 }
 
-/// The indexed calendar queue. See the module docs for the design.
+/// The indexed calendar queue, generic over its payload. See the module
+/// docs for the design.
 #[derive(Debug)]
-pub struct EventQueue {
-    slots: Vec<Slot>,
+pub struct CalendarQueue<T> {
+    slots: Vec<Slot<T>>,
     free: Vec<u32>,
     wheel: Vec<Vec<Key>>,
     wheel_len: usize,
@@ -118,16 +125,19 @@ pub struct EventQueue {
     next_seq: u64,
 }
 
-impl Default for EventQueue {
+/// The `Network` scheduler: a [`CalendarQueue`] carrying [`Event`]s.
+pub type EventQueue = CalendarQueue<Event>;
+
+impl<T> Default for CalendarQueue<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl EventQueue {
+impl<T> CalendarQueue<T> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> Self {
-        EventQueue {
+        CalendarQueue {
             slots: Vec::new(),
             free: Vec::new(),
             wheel: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
@@ -160,12 +170,43 @@ impl EventQueue {
         }
     }
 
-    /// Schedules `ev` at `at`, returning a cancellation handle.
-    pub fn push(&mut self, at: SimTime, ev: Event) -> EventId {
-        let at_ns = at.as_nanos();
+    /// Approximate heap footprint of the queue's own structures in bytes
+    /// (slab, wheel buckets, overflow heap; excludes heap memory owned by
+    /// payloads). Used by the scale bench's per-peer accounting.
+    pub fn mem_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Slot<T>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + self
+                .wheel
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<Key>())
+                .sum::<usize>()
+            + self.wheel.capacity() * std::mem::size_of::<Vec<Key>>()
+            + self.overflow.capacity() * std::mem::size_of::<Reverse<Key>>()
+    }
+
+    /// Schedules `ev` at `at` with an internally assigned tie-break
+    /// sequence (schedule order), returning a cancellation handle.
+    pub fn push(&mut self, at: SimTime, ev: T) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.push_with_seq(at, seq, ev)
+    }
 
+    /// Schedules `ev` at `at` with a caller-supplied tie-break key.
+    ///
+    /// Events popping at the same time are ordered by ascending `key`.
+    /// Keys should be derived from event content (e.g. origin id and a
+    /// per-origin counter) so pop order is independent of push order —
+    /// the property the sharded runner's determinism rests on. Do not mix
+    /// `push` and `push_keyed` on one queue: the internal sequence counter
+    /// and caller keys share the tie-break space.
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, ev: T) -> EventId {
+        self.push_with_seq(at, key, ev)
+    }
+
+    fn push_with_seq(&mut self, at: SimTime, seq: u64, ev: T) -> EventId {
+        let at_ns = at.as_nanos();
         let slot_idx = match self.free.pop() {
             Some(i) => i,
             None => {
@@ -214,8 +255,9 @@ impl EventQueue {
         }
     }
 
-    /// Pops the earliest event (ties broken by schedule order).
-    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+    /// Pops the earliest event (ties broken by ascending tie-break key,
+    /// i.e. schedule order under [`CalendarQueue::push`]).
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
         let mut idx = (self.cursor % WHEEL_BUCKETS as u64) as usize;
         // Fast path: keep draining an already-sorted cursor bucket.
         if !self.cursor_sorted || self.wheel[idx].is_empty() {
@@ -235,6 +277,17 @@ impl EventQueue {
         slot.gen = slot.gen.wrapping_add(1);
         self.free.push(key.slot);
         Some((SimTime::from_nanos(key.at), ev))
+    }
+
+    /// Pops the earliest event only if it is scheduled strictly before
+    /// `end`. The sharded runner's window drain: each shard consumes its
+    /// queue up to the lookahead boundary and no further.
+    pub fn pop_before(&mut self, end: SimTime) -> Option<(SimTime, T)> {
+        if self.next_at()? < end {
+            self.pop()
+        } else {
+            None
+        }
     }
 
     /// Time of the earliest event without popping it.
@@ -496,6 +549,57 @@ mod tests {
         assert_eq!(tok(&q.pop().unwrap().1), 2);
         assert_eq!(tok(&q.pop().unwrap().1), 3);
         assert_eq!(tok(&q.pop().unwrap().1), 4);
+    }
+
+    #[test]
+    fn keyed_pop_order_is_push_order_independent() {
+        // The sharded runner's determinism hinge: content-derived keys
+        // make tie order a function of the events, not of who pushed
+        // first. Pushing the same set in two different orders must drain
+        // identically.
+        let evs = [(5u64, 30u64), (5, 10), (5, 20), (2, 99), (5, 15)];
+        let drain = |order: &[usize]| {
+            let mut q: CalendarQueue<u64> = CalendarQueue::new();
+            for &i in order {
+                let (ms, key) = evs[i];
+                q.push_keyed(SimTime::from_millis(ms), key, key);
+            }
+            std::iter::from_fn(move || q.pop()).collect::<Vec<_>>()
+        };
+        let a = drain(&[0, 1, 2, 3, 4]);
+        let b = drain(&[4, 3, 2, 1, 0]);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.iter().map(|&(_, k)| k).collect::<Vec<_>>(),
+            vec![99, 10, 15, 20, 30]
+        );
+    }
+
+    #[test]
+    fn pop_before_respects_the_window_boundary() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.push_keyed(SimTime::from_millis(1), 0, 1);
+        q.push_keyed(SimTime::from_millis(5), 1, 5);
+        q.push_keyed(SimTime::from_millis(9), 2, 9);
+        let end = SimTime::from_millis(5);
+        let mut drained = Vec::new();
+        while let Some((at, v)) = q.pop_before(end) {
+            assert!(at < end, "window drain never crosses the boundary");
+            drained.push(v);
+        }
+        assert_eq!(drained, vec![1], "the boundary event itself stays queued");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_at(), Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn generic_payloads_work_with_cancel_and_stats() {
+        let mut q: CalendarQueue<String> = CalendarQueue::new();
+        let a = q.push(SimTime::from_millis(1), "a".into());
+        q.push(SimTime::from_millis(2), "b".into());
+        assert!(q.cancel(a));
+        assert_eq!(q.stats().live, 1);
+        assert_eq!(q.pop().unwrap().1, "b");
     }
 
     #[test]

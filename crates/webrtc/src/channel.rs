@@ -169,6 +169,11 @@ impl DataChannel {
         }
         let (idx, total) = (idx as usize, total as usize);
         let body = frame.slice(off..);
+        if total == 1 {
+            // Single-record message (all control traffic): the body slice
+            // IS the message — no partial-map entry, no reassembly copy.
+            return Ok(Some(body));
+        }
         let partial = self.partials.entry(msg_id).or_insert_with(|| Partial {
             chunks: vec![None; total],
             received: 0,
@@ -182,7 +187,12 @@ impl DataChannel {
         }
         if partial.received == total {
             let partial = self.partials.remove(&msg_id).expect("just inserted");
-            let mut out = BytesMut::new();
+            let len: usize = partial
+                .chunks
+                .iter()
+                .map(|c| c.as_ref().map_or(0, Bytes::len))
+                .sum();
+            let mut out = BytesMut::with_capacity(len);
             for c in partial.chunks {
                 out.put_slice(&c.expect("all chunks received"));
             }

@@ -13,6 +13,9 @@ cargo test --offline --workspace --quiet
 echo "==> determinism gate (worker counts 1/2/4/8)"
 cargo test --offline -p pdn-bench --test pool_determinism --quiet
 
+echo "==> shard determinism gate (shard counts 1/2/4/8, inline + threaded)"
+cargo test --offline -p pdn-bench --test shard_determinism --quiet
+
 echo "==> crypto gate (differential HMAC + fast-path speedup/alloc asserts)"
 cargo test --offline -p pdn-crypto --quiet diff_tests
 cargo run --release --offline -p pdn-bench --bin crypto_bench -- --quick
@@ -22,6 +25,9 @@ cargo run --release --offline -p pdn-bench --bin wire_bench -- --quick
 
 echo "==> sim workload gate (serial workload within 10% of committed BENCH_sim.json)"
 cargo run --release --offline -p pdn-bench --bin sim_bench -- --quick
+
+echo "==> swarm scale gate (10k-peer tables identical at shards 1/2/4/8, peers/GB floor, ev/s within 10% of committed BENCH_swarm.json)"
+cargo run --release --offline -p pdn-bench --bin swarm_scale_bench -- --quick
 
 echo "==> cargo bench --no-run (benches stay compiling)"
 cargo bench --offline --workspace --no-run
@@ -36,7 +42,9 @@ echo "==> hot-path hash lint (no std::collections::HashMap on swarm-state hot pa
 hot_paths=(
   crates/provider/src/sdk.rs
   crates/provider/src/signaling.rs
+  crates/provider/src/swarm.rs
   crates/simnet/src/net.rs
+  crates/simnet/src/shard.rs
   crates/webrtc/src/dtls.rs
   crates/webrtc/src/channel.rs
 )
