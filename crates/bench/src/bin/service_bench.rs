@@ -1,0 +1,410 @@
+//! Emits `BENCH_service.json`: the open-loop serving numbers for the
+//! signaling/tracker plane (`pdn_provider::service`) — knee throughput,
+//! p50/p99/p999 join-to-first-segment and signaling RTT per scenario, and
+//! goodput under 2x / 10x overload (which must plateau via explicit
+//! denial, not collapse), with bounded inbox memory and tail-drop
+//! accounting for the bounded capture ring.
+//!
+//! ```text
+//! cargo run --release -p pdn-bench --bin service_bench [-- --quick] [--seed N]
+//! ```
+//!
+//! Every scenario runs twice and the deterministic result row must come
+//! back byte-identical — wall-clock throughput is reported separately and
+//! never gated on.
+//!
+//! `--quick` runs a small three-point suite and fails if the p999
+//! join-to-first-segment breaches the SLO budget, the knee throughput
+//! regressed more than 10% against the committed `BENCH_service.json`,
+//! or goodput at 2x overload fell off a plateau. No JSON is written in
+//! quick mode — this is the `scripts/check.sh` guard.
+//!
+//! `--seed N` reruns everything under a different world seed (default 1;
+//! the committed JSON is seed 1).
+
+use std::time::{Duration, Instant};
+
+use pdn_provider::service::{run_service, InboxConfig, ServiceConfig, ServiceReport};
+use pdn_simnet::{RatePlan, SimTime};
+
+/// p999 join-to-first-segment budget for a healthy (under-knee) load,
+/// global audience against a single-region tracker.
+const SLO_JTFS_P999_MS: f64 = 1_000.0;
+
+/// Goodput at 10x overload must hold at least this share of goodput at
+/// 2x — the plateau criterion (shedding, not collapsing).
+const PLATEAU_10X_VS_2X: f64 = 0.7;
+
+/// Quick-mode plateau: goodput at 2x overload vs the knee point.
+const PLATEAU_2X_VS_KNEE: f64 = 0.6;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// One scenario's deterministic result row (everything but wall time).
+struct Row {
+    name: String,
+    offered_per_sec: f64,
+    json: String,
+    report: ServiceReport,
+    run_for: Duration,
+}
+
+impl Row {
+    fn goodput(&self) -> f64 {
+        self.report.goodput_per_sec(self.run_for)
+    }
+
+    fn joins_ok_per_sec(&self) -> f64 {
+        self.report.joins_ok as f64 / self.run_for.as_secs_f64()
+    }
+}
+
+/// Renders the deterministic JSON row for a report. Byte-identity of this
+/// string across reruns is the determinism gate.
+fn render_row(name: &str, offered: f64, cfg: &ServiceConfig, r: &ServiceReport) -> String {
+    format!(
+        concat!(
+            "{{\"name\": \"{}\", \"offered_per_sec\": {:.0}, \"arrivals\": {}, ",
+            "\"joins_ok\": {}, \"joins_denied\": {}, \"turned_away\": {}, ",
+            "\"first_segments\": {}, \"leaves\": {}, \"goodput_per_sec\": {:.1}, ",
+            "\"jtfs_p50_ms\": {:.3}, \"jtfs_p99_ms\": {:.3}, \"jtfs_p999_ms\": {:.3}, ",
+            "\"rtt_p50_ms\": {:.3}, \"rtt_p99_ms\": {:.3}, \"rtt_p999_ms\": {:.3}, ",
+            "\"shed_greeter\": {}, \"shed_gossip\": {}, \"shed_integrity\": {}, ",
+            "\"denied_at_inbox\": {}, \"backpressured\": {}, ",
+            "\"inbox_peak_depth\": {}, \"inbox_peak_bytes\": {}, ",
+            "\"batch_hits\": {}, \"served_frames\": {}, \"peak_clients\": {}, ",
+            "\"capture_dropped\": {}, \"capture_filtered\": {}, ",
+            "\"cdn_requests\": {}, \"cdn_egress_bytes\": {}}}"
+        ),
+        name,
+        offered,
+        r.arrivals,
+        r.joins_ok,
+        r.joins_denied,
+        r.turned_away,
+        r.first_segments,
+        r.leaves,
+        r.goodput_per_sec(cfg.run_for),
+        ms(r.jtfs.quantile(0.50)),
+        ms(r.jtfs.quantile(0.99)),
+        ms(r.jtfs.quantile(0.999)),
+        ms(r.rtt.quantile(0.50)),
+        ms(r.rtt.quantile(0.99)),
+        ms(r.rtt.quantile(0.999)),
+        r.shed.shed_greeter,
+        r.shed.shed_gossip,
+        r.shed.shed_integrity,
+        r.shed.denied_joins,
+        r.shed.backpressured,
+        r.shed.peak_depth,
+        r.shed.peak_bytes,
+        r.batch_hits,
+        r.served_frames,
+        r.peak_clients,
+        r.capture_dropped,
+        r.capture_filtered,
+        r.cdn_requests,
+        r.cdn_egress_bytes,
+    )
+}
+
+/// Runs one scenario twice, asserts the deterministic row is
+/// byte-identical, and returns the row plus the first run's wall seconds.
+fn run_scenario(name: &str, offered: f64, cfg: &ServiceConfig) -> (Row, f64) {
+    let t = Instant::now();
+    let report = run_service(cfg);
+    let wall = t.elapsed().as_secs_f64();
+    let json = render_row(name, offered, cfg, &report);
+    let rerun = render_row(name, offered, cfg, &run_service(cfg));
+    assert!(
+        json == rerun,
+        "scenario {name} is nondeterministic:\n  {json}\n  {rerun}"
+    );
+    // Bounded memory: the pool cap held and the inboxes never outgrew
+    // their configured queue caps.
+    assert!(report.peak_clients <= cfg.max_clients as u64);
+    let cap_total = (cfg.inbox.join_cap
+        + cfg.inbox.integrity_cap
+        + cfg.inbox.gossip_cap
+        + cfg.inbox.greeter_cap) as u64;
+    assert!(
+        report.shed.peak_depth <= cap_total,
+        "{name}: inbox depth {} exceeded the cap total {cap_total}",
+        report.shed.peak_depth
+    );
+    (
+        Row {
+            name: name.to_string(),
+            offered_per_sec: offered,
+            json,
+            report,
+            run_for: cfg.run_for,
+        },
+        wall,
+    )
+}
+
+/// The base serving config every scenario derives from.
+fn base(seed: u64) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(RatePlan::Steady { per_sec: 0.0 });
+    cfg.seed = seed;
+    cfg.run_for = Duration::from_secs(10);
+    cfg.tick = Duration::from_millis(5);
+    cfg.tick_budget = 60;
+    cfg.inbox = InboxConfig::default();
+    cfg.mean_session = Duration::from_secs(8);
+    cfg.stats_every = Duration::from_secs(4);
+    cfg.max_clients = 60_000;
+    cfg
+}
+
+/// The small suite `--quick` gates on; full mode runs it too so its
+/// numbers land in the committed JSON for future gating.
+fn quick_suite(seed: u64) -> (Row, Row, Row) {
+    let mut cfg = base(seed);
+    cfg.run_for = Duration::from_secs(4);
+    cfg.mean_session = Duration::from_secs(3);
+    cfg.stats_every = Duration::from_secs(2);
+    let nominal = cfg.nominal_capacity_per_sec();
+
+    let mut light = cfg.clone();
+    light.plan = RatePlan::Steady {
+        per_sec: nominal * 0.4,
+    };
+    let (light_row, _) = run_scenario("quick_light", nominal * 0.4, &light);
+
+    let mut knee = cfg.clone();
+    knee.plan = RatePlan::Steady { per_sec: nominal };
+    let (knee_row, _) = run_scenario("quick_knee", nominal, &knee);
+
+    let mut over = cfg;
+    over.plan = RatePlan::Steady {
+        per_sec: nominal * 2.0,
+    };
+    let (over_row, _) = run_scenario("quick_2x", nominal * 2.0, &over);
+
+    (light_row, knee_row, over_row)
+}
+
+/// Extracts the number following `key` in a flat JSON text.
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let rest = &text[text.find(key)? + key.len()..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn committed_quick_knee() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_service.json").ok()?;
+    json_f64(&text, "\"quick_knee_joins_ok_per_sec\": ")
+}
+
+/// Value of a `--flag value` or `--flag=value` argument.
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(name).and_then(|v| v.strip_prefix('=')) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed: u64 = arg_value("--seed")
+        .map(|v| v.parse().expect("--seed takes a u64"))
+        .unwrap_or(1);
+
+    if quick {
+        let (light, knee, over) = quick_suite(seed);
+        let p999 = ms(light.report.jtfs.quantile(0.999));
+        println!(
+            "service quick: knee {:.0} joins-ok/s, light p999 JTFS {:.1} ms, 2x goodput {:.0}/s",
+            knee.joins_ok_per_sec(),
+            p999,
+            over.goodput()
+        );
+        assert!(
+            p999 <= SLO_JTFS_P999_MS,
+            "SLO breach: p999 join-to-first-segment {p999:.1} ms > budget {SLO_JTFS_P999_MS} ms"
+        );
+        assert!(
+            over.goodput() >= knee.goodput() * PLATEAU_2X_VS_KNEE,
+            "overload collapse: 2x goodput {:.0}/s fell below {:.0}% of knee {:.0}/s",
+            over.goodput(),
+            PLATEAU_2X_VS_KNEE * 100.0,
+            knee.goodput()
+        );
+        match committed_quick_knee() {
+            Some(committed) => {
+                let now = knee.joins_ok_per_sec();
+                assert!(
+                    now >= committed * 0.9,
+                    "knee throughput regressed: {now:.0} joins-ok/s vs committed {committed:.0} \
+                     (>10%)"
+                );
+                println!("  within 10% of committed {committed:.0} joins-ok/s");
+            }
+            None => println!("  no committed BENCH_service.json; skipping regression gate"),
+        }
+        return;
+    }
+
+    let cfg = base(seed);
+    let nominal = cfg.nominal_capacity_per_sec();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut knee_wall_msgs_per_sec = 0.0;
+
+    // Knee sweep: steady loads bracketing the analytic capacity. Leaves
+    // share the join-critical budget, so the measured knee sits well
+    // under `nominal` — that is the point of measuring it.
+    for mult in [0.4, 0.7, 1.0, 1.3] {
+        let mut c = cfg.clone();
+        c.plan = RatePlan::Steady {
+            per_sec: nominal * mult,
+        };
+        let name = format!("steady_{:.0}", nominal * mult);
+        let (row, wall) = run_scenario(&name, nominal * mult, &c);
+        if mult == 1.0 {
+            knee_wall_msgs_per_sec = row.report.served_frames as f64 / wall.max(1e-9);
+        }
+        println!(
+            "  {:>16}: {:>6.0} offered/s -> {:>6.0} good/s, p999 JTFS {:>8.1} ms, denied {}",
+            row.name,
+            row.offered_per_sec,
+            row.goodput(),
+            ms(row.report.jtfs.quantile(0.999)),
+            row.report.joins_denied
+        );
+        rows.push(row);
+    }
+    let knee_joins_ok = rows
+        .iter()
+        .map(Row::joins_ok_per_sec)
+        .fold(0.0f64, f64::max);
+
+    // Flash crowd: breaking news at t=4s, 6x for 3s, under a greeter
+    // flood the whole time.
+    let mut flash = cfg.clone();
+    flash.plan = RatePlan::FlashCrowd {
+        base_per_sec: nominal * 0.5,
+        mult: 6.0,
+        at: SimTime::from_secs(4),
+        dur: Duration::from_secs(3),
+    };
+    flash.greeter_per_sec = 5_000.0;
+    let (row, _) = run_scenario("flash_crowd_6x", nominal * 3.0, &flash);
+    println!(
+        "  {:>16}: spike p999 JTFS {:>8.1} ms, denied {}, junk refused {}",
+        row.name,
+        ms(row.report.jtfs.quantile(0.999)),
+        row.report.joins_denied,
+        row.report.shed.shed_greeter + row.report.shed.backpressured
+    );
+    rows.push(row);
+
+    // Regional failover: a sibling tracker dies at t=5s and its audience
+    // lands here for good.
+    let mut failover = cfg.clone();
+    failover.plan = RatePlan::Failover {
+        base_per_sec: nominal * 0.6,
+        mult: 2.5,
+        at: SimTime::from_secs(5),
+    };
+    let (row, _) = run_scenario("failover_2p5x", nominal * 1.5, &failover);
+    println!(
+        "  {:>16}: post-failover goodput {:>6.0}/s, p999 JTFS {:>8.1} ms",
+        row.name,
+        row.goodput(),
+        ms(row.report.jtfs.quantile(0.999))
+    );
+    rows.push(row);
+
+    // Sustained overload: goodput must plateau via explicit denial.
+    let mut over2 = cfg.clone();
+    over2.plan = RatePlan::Steady {
+        per_sec: nominal * 2.0,
+    };
+    let (row2x, _) = run_scenario("overload_2x", nominal * 2.0, &over2);
+    let mut over10 = cfg.clone();
+    over10.plan = RatePlan::Steady {
+        per_sec: nominal * 10.0,
+    };
+    let (row10x, _) = run_scenario("overload_10x", nominal * 10.0, &over10);
+    for r in [&row2x, &row10x] {
+        println!(
+            "  {:>16}: {:>6.0} offered/s -> {:>6.0} good/s, denied {}, peak inbox {} frames / {} B",
+            r.name,
+            r.offered_per_sec,
+            r.goodput(),
+            r.report.joins_denied,
+            r.report.shed.peak_depth,
+            r.report.shed.peak_bytes
+        );
+    }
+    assert!(
+        row10x.goodput() >= row2x.goodput() * PLATEAU_10X_VS_2X,
+        "goodput collapsed under 10x overload: {:.0}/s vs {:.0}/s at 2x",
+        row10x.goodput(),
+        row2x.goodput()
+    );
+    let (goodput_2x, goodput_10x) = (row2x.goodput(), row10x.goodput());
+    rows.push(row2x);
+    rows.push(row10x);
+
+    // The quick suite, so its reference numbers are committed for the
+    // `--quick` CI gate.
+    let (q_light, q_knee, q_over) = quick_suite(seed);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"service\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"nominal_capacity_per_sec\": {nominal:.0},\n"));
+    out.push_str(&format!(
+        "  \"knee_joins_ok_per_sec\": {knee_joins_ok:.1},\n"
+    ));
+    out.push_str(&format!(
+        "  \"knee_wall_msgs_per_sec\": {knee_wall_msgs_per_sec:.0},\n"
+    ));
+    out.push_str(&format!("  \"goodput_2x_per_sec\": {goodput_2x:.1},\n"));
+    out.push_str(&format!("  \"goodput_10x_per_sec\": {goodput_10x:.1},\n"));
+    out.push_str(&format!("  \"slo_jtfs_p999_ms\": {SLO_JTFS_P999_MS:.0},\n"));
+    out.push_str(&format!(
+        "  \"quick_knee_joins_ok_per_sec\": {:.1},\n",
+        q_knee.joins_ok_per_sec()
+    ));
+    out.push_str(&format!(
+        "  \"quick_light_jtfs_p999_ms\": {:.3},\n",
+        ms(q_light.report.jtfs.quantile(0.999))
+    ));
+    out.push_str(&format!(
+        "  \"quick_goodput_2x_per_sec\": {:.1},\n",
+        q_over.goodput()
+    ));
+    out.push_str("  \"scenarios\": [\n");
+    let all = rows
+        .iter()
+        .map(|r| format!("    {}", r.json))
+        .chain(
+            [q_light, q_knee, q_over]
+                .iter()
+                .map(|r| format!("    {}", r.json)),
+        )
+        .collect::<Vec<_>>()
+        .join(",\n");
+    out.push_str(&all);
+    out.push_str("\n  ]\n}\n");
+
+    std::fs::write("BENCH_service.json", &out).expect("write BENCH_service.json");
+    println!(
+        "service: knee {knee_joins_ok:.0} joins-ok/s (nominal {nominal:.0}), \
+         {knee_wall_msgs_per_sec:.0} wall msgs/s at the knee, goodput {goodput_2x:.0}/s @2x \
+         -> {goodput_10x:.0}/s @10x; wrote BENCH_service.json"
+    );
+}

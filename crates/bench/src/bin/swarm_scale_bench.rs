@@ -4,7 +4,7 @@
 //! plus a byte-identity check of the result table across shard counts.
 //!
 //! ```text
-//! cargo run --release -p pdn-bench --bin swarm_scale_bench [-- --quick | --xl]
+//! cargo run --release -p pdn-bench --bin swarm_scale_bench [-- --quick | --xl] [--seed N]
 //! ```
 //!
 //! `--quick` runs the 10k-peer world at shard counts 1/2/4/8, fails on
@@ -87,15 +87,33 @@ fn committed_eps_10k() -> Option<f64> {
     json_f64(&text, "\"events_per_sec_10k\": ")
 }
 
+/// Value of a `--flag value` or `--flag=value` argument.
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(name).and_then(|v| v.strip_prefix('=')) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let xl = std::env::args().any(|a| a == "--xl");
+    let seed: u64 = arg_value("--seed")
+        .map(|v| v.parse().expect("--seed takes a u64"))
+        .unwrap_or(1);
     let host = host_parallelism();
 
     if quick {
         // Determinism gate: the 10k world's table must be byte-identical
         // at every shard count (the sharded engine's core contract).
-        let cfg = SwarmConfig::quick(10_000);
+        let mut cfg = SwarmConfig::quick(10_000);
+        cfg.seed = seed;
         let mut reference = None;
         let mut point = None;
         for k in [1usize, 2, 4, 8] {
@@ -145,12 +163,17 @@ fn main() {
     }
 
     let shards = auto_shards();
+    let seeded = |peers: u32| {
+        let mut cfg = SwarmConfig::scale(peers);
+        cfg.seed = seed;
+        cfg
+    };
     let mut points = vec![
-        run_point("10k", SwarmConfig::scale(10_000), shards).0,
-        run_point("100k", SwarmConfig::scale(100_000), shards).0,
+        run_point("10k", seeded(10_000), shards).0,
+        run_point("100k", seeded(100_000), shards).0,
     ];
     if xl {
-        points.push(run_point("1m", SwarmConfig::scale(1_000_000), shards).0);
+        points.push(run_point("1m", seeded(1_000_000), shards).0);
     }
 
     let mut json = format!(

@@ -15,6 +15,8 @@
 //! - [`signaling`] — the tracker: swarms, neighbor introduction, metering,
 //!   §V-B integrity checking with blacklist, §V-C peer matching;
 //! - [`sdk`] — the client agent a customer embeds (sans-IO state machine);
+//! - [`service`] — open-loop service mode: the tracker under live Poisson
+//!   load with bounded inboxes, load shedding, and tail-latency SLOs;
 //! - [`world`] — the simulation harness wiring it all onto `pdn-simnet`.
 //!
 //! # Examples
@@ -37,6 +39,7 @@ pub mod billing;
 pub mod profiles;
 pub mod proto;
 pub mod sdk;
+pub mod service;
 pub mod signaling;
 pub mod state;
 pub mod state_baseline;
@@ -49,6 +52,6 @@ pub use billing::{BillingModel, UsageMeter};
 pub use profiles::{AuthScheme, CellularPolicy, ProviderKind, ProviderProfile};
 pub use proto::{HttpRequest, HttpResponse, P2pMsg, SignalMsg};
 pub use sdk::{AgentConfig, AgentOut, PdnAgent};
-pub use signaling::{compute_im, DefenseStats, MatchingPolicy, SignalingServer};
+pub use signaling::{compute_im, AdmissionBatch, DefenseStats, MatchingPolicy, SignalingServer};
 pub use swarm::{RegionStats, SwarmConfig, SwarmWorld};
 pub use world::{PdnWorld, ViewerSpec};

@@ -1,0 +1,428 @@
+//! Bounded per-connection inboxes with priority-aware load shedding.
+//!
+//! An open-loop server cannot make clients slow down; when arrivals
+//! outrun the drain rate the only choices are *where* the queue lives and
+//! *what* gets dropped. [`BoundedInboxes`] keeps one FIFO per message
+//! class with an explicit cap each, plus a per-connection cap so one hot
+//! address cannot monopolize a queue. Overflow policy is by class
+//! priority:
+//!
+//! - **Greeter** traffic (undecodable / unrecognized frames — the greeter
+//!   floods of §IV-B) is shed first and silently; it earns no reply.
+//! - **Gossip** ([`SignalMsg::StatsReport`] availability chatter) is shed
+//!   next; peers re-send it periodically anyway.
+//! - **Integrity** ([`SignalMsg::ImReport`]) is shed only when its own
+//!   queue overflows — losing a report delays a quorum, never corrupts it.
+//! - **Join-critical** ([`SignalMsg::Join`] / [`SignalMsg::Leave`]) is
+//!   *never* silently shed: when the join queue is full the server owes
+//!   the client an immediate, cheap `JoinDenied` so the client's latency
+//!   stays bounded instead of unbounded-queue-then-timeout.
+//!
+//! Every shed is counted in [`ShedStats`]; nothing is dropped silently
+//! *and* unaccounted. The struct never allocates per frame beyond the
+//! queued `Bytes` handle itself (queues are reused ring buffers, the
+//! per-connection table reuses tombstoned entries).
+//!
+//! [`SignalMsg::StatsReport`]: crate::SignalMsg::StatsReport
+//! [`SignalMsg::ImReport`]: crate::SignalMsg::ImReport
+//! [`SignalMsg::Join`]: crate::SignalMsg::Join
+//! [`SignalMsg::Leave`]: crate::SignalMsg::Leave
+//! [`SignalMsg::JoinDenied`]: crate::SignalMsg::JoinDenied
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use pdn_simnet::{Addr, FxHashMap};
+
+use crate::wire::SIGNAL_BIN_VERSION;
+
+/// Priority class of an inbound signaling frame, sniffed from the wire
+/// bytes without a full decode (frame layout: `"TLS|"` marker, version
+/// byte, tag byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgClass {
+    /// `Join` / `Leave` — membership-critical, never silently shed.
+    JoinCritical,
+    /// `ImReport` — §V-B integrity evidence.
+    Integrity,
+    /// `StatsReport` — availability/usage gossip.
+    Gossip,
+    /// Unrecognized or undecodable traffic (greeter floods, junk).
+    Greeter,
+}
+
+/// Wire tags mirrored from `wire.rs` (kept private there; the inbox only
+/// needs the ones it prioritizes on).
+const TAG_JOIN: u8 = 1;
+const TAG_STATS: u8 = 5;
+const TAG_IM_REPORT: u8 = 6;
+const TAG_LEAVE: u8 = 9;
+
+impl MsgClass {
+    /// Classifies a raw frame by sniffing marker + version + tag bytes.
+    /// Anything that is not a well-formed client->server signaling frame
+    /// is `Greeter`.
+    pub fn of_frame(frame: &[u8]) -> MsgClass {
+        if frame.len() < 6 || &frame[..4] != b"TLS|" || frame[4] != SIGNAL_BIN_VERSION {
+            return MsgClass::Greeter;
+        }
+        match frame[5] {
+            TAG_JOIN | TAG_LEAVE => MsgClass::JoinCritical,
+            TAG_IM_REPORT => MsgClass::Integrity,
+            TAG_STATS => MsgClass::Gossip,
+            _ => MsgClass::Greeter,
+        }
+    }
+
+    /// Drain cost of one frame of this class, in abstract budget units
+    /// (a join walks interners + the swarm; gossip is a meter bump).
+    pub fn cost(self) -> u32 {
+        match self {
+            MsgClass::JoinCritical => 4,
+            MsgClass::Integrity => 2,
+            MsgClass::Gossip => 1,
+            MsgClass::Greeter => 1,
+        }
+    }
+}
+
+/// Whether `frame` is a well-formed `Leave`. Servers apply leaves inline
+/// when the join-critical queue refuses them: a leave is O(1) under the
+/// tombstoned membership and must never be lost, or the registry leaks
+/// the peer for the rest of the run.
+pub fn is_leave_frame(frame: &[u8]) -> bool {
+    frame.len() >= 6
+        && &frame[..4] == b"TLS|"
+        && frame[4] == SIGNAL_BIN_VERSION
+        && frame[5] == TAG_LEAVE
+}
+
+/// Capacity knobs for [`BoundedInboxes`].
+#[derive(Debug, Clone, Copy)]
+pub struct InboxConfig {
+    /// Maximum frames queued per source address across all classes.
+    pub per_conn_cap: u32,
+    /// Join-critical queue cap; overflow is an explicit deny.
+    pub join_cap: usize,
+    /// Integrity queue cap.
+    pub integrity_cap: usize,
+    /// Gossip queue cap.
+    pub gossip_cap: usize,
+    /// Greeter queue cap (kept small: this class only absorbs decode
+    /// cost, it never earns a reply).
+    pub greeter_cap: usize,
+}
+
+impl Default for InboxConfig {
+    fn default() -> Self {
+        InboxConfig {
+            per_conn_cap: 8,
+            join_cap: 4_096,
+            integrity_cap: 2_048,
+            gossip_cap: 2_048,
+            greeter_cap: 512,
+        }
+    }
+}
+
+/// What happened to an offered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Queued for a future drain tick.
+    Enqueued,
+    /// Join-critical frame refused — the caller owes the sender an
+    /// immediate `JoinDenied` (joins are never silently shed).
+    DenyJoin,
+    /// Non-critical frame refused at the per-connection cap.
+    Backpressure,
+    /// Non-critical frame shed at its class-queue cap.
+    Shed,
+}
+
+/// Shedding / backpressure accounting. Every refused frame lands in
+/// exactly one counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShedStats {
+    /// Greeter frames shed at the greeter queue cap.
+    pub shed_greeter: u64,
+    /// Gossip frames shed at the gossip queue cap.
+    pub shed_gossip: u64,
+    /// Integrity frames shed at the integrity queue cap.
+    pub shed_integrity: u64,
+    /// Join-critical frames refused (each owed an explicit deny).
+    pub denied_joins: u64,
+    /// Frames refused at the per-connection cap (any class but
+    /// join-critical, which counts in `denied_joins`).
+    pub backpressured: u64,
+    /// High-water mark of total queued frames.
+    pub peak_depth: u64,
+    /// High-water mark of total queued payload bytes.
+    pub peak_bytes: u64,
+}
+
+impl ShedStats {
+    /// Total frames refused for any reason.
+    pub fn total_refused(&self) -> u64 {
+        self.shed_greeter
+            + self.shed_gossip
+            + self.shed_integrity
+            + self.denied_joins
+            + self.backpressured
+    }
+}
+
+/// Bounded, class-prioritized inbound queues for one server. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct BoundedInboxes {
+    cfg: InboxConfig,
+    joins: VecDeque<(Addr, Bytes)>,
+    integrity: VecDeque<(Addr, Bytes)>,
+    gossip: VecDeque<(Addr, Bytes)>,
+    greeter: VecDeque<(Addr, Bytes)>,
+    /// Frames currently queued per source address.
+    per_conn: FxHashMap<Addr, u32>,
+    queued_bytes: u64,
+    stats: ShedStats,
+}
+
+impl BoundedInboxes {
+    /// Creates empty inboxes with the given caps.
+    pub fn new(cfg: InboxConfig) -> Self {
+        BoundedInboxes {
+            cfg,
+            joins: VecDeque::new(),
+            integrity: VecDeque::new(),
+            gossip: VecDeque::new(),
+            greeter: VecDeque::new(),
+            per_conn: FxHashMap::default(),
+            queued_bytes: 0,
+            stats: ShedStats::default(),
+        }
+    }
+
+    /// Offers one inbound frame. Never blocks; the return value says
+    /// whether it queued and, if not, what the caller owes the sender.
+    pub fn offer(&mut self, from: Addr, frame: Bytes) -> Admit {
+        let class = MsgClass::of_frame(&frame);
+        let conn = self.per_conn.entry(from).or_insert(0);
+        if *conn >= self.cfg.per_conn_cap {
+            return match class {
+                MsgClass::JoinCritical => {
+                    self.stats.denied_joins += 1;
+                    Admit::DenyJoin
+                }
+                _ => {
+                    self.stats.backpressured += 1;
+                    Admit::Backpressure
+                }
+            };
+        }
+        let (queue, cap) = match class {
+            MsgClass::JoinCritical => (&mut self.joins, self.cfg.join_cap),
+            MsgClass::Integrity => (&mut self.integrity, self.cfg.integrity_cap),
+            MsgClass::Gossip => (&mut self.gossip, self.cfg.gossip_cap),
+            MsgClass::Greeter => (&mut self.greeter, self.cfg.greeter_cap),
+        };
+        if queue.len() >= cap {
+            return match class {
+                MsgClass::JoinCritical => {
+                    self.stats.denied_joins += 1;
+                    Admit::DenyJoin
+                }
+                MsgClass::Integrity => {
+                    self.stats.shed_integrity += 1;
+                    Admit::Shed
+                }
+                MsgClass::Gossip => {
+                    self.stats.shed_gossip += 1;
+                    Admit::Shed
+                }
+                MsgClass::Greeter => {
+                    self.stats.shed_greeter += 1;
+                    Admit::Shed
+                }
+            };
+        }
+        *conn += 1;
+        self.queued_bytes += frame.len() as u64;
+        queue.push_back((from, frame));
+        let depth = self.depth() as u64;
+        self.stats.peak_depth = self.stats.peak_depth.max(depth);
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.queued_bytes);
+        Admit::Enqueued
+    }
+
+    /// Drains up to `budget` units of queued work in strict priority
+    /// order (joins, then integrity, then gossip, then greeter), charging
+    /// [`MsgClass::cost`] per frame. Join-critical frames land in
+    /// `joins` (they batch through the admission path); everything else
+    /// lands in `other`, in drain order. Returns the units spent.
+    ///
+    /// A frame is drained whole: the last frame may overshoot the budget
+    /// rather than split.
+    pub fn drain_tick(
+        &mut self,
+        budget: u32,
+        joins: &mut Vec<(Addr, Bytes)>,
+        other: &mut Vec<(Addr, Bytes)>,
+    ) -> u32 {
+        let mut spent = 0u32;
+        loop {
+            if spent >= budget {
+                return spent;
+            }
+            let (class, item) = if let Some(item) = self.joins.pop_front() {
+                (MsgClass::JoinCritical, item)
+            } else if let Some(item) = self.integrity.pop_front() {
+                (MsgClass::Integrity, item)
+            } else if let Some(item) = self.gossip.pop_front() {
+                (MsgClass::Gossip, item)
+            } else if let Some(item) = self.greeter.pop_front() {
+                (MsgClass::Greeter, item)
+            } else {
+                return spent;
+            };
+            self.queued_bytes -= item.1.len() as u64;
+            if let Some(count) = self.per_conn.get_mut(&item.0) {
+                *count -= 1;
+                if *count == 0 {
+                    self.per_conn.remove(&item.0);
+                }
+            }
+            spent += class.cost();
+            if class == MsgClass::JoinCritical {
+                joins.push(item);
+            } else {
+                other.push(item);
+            }
+        }
+    }
+
+    /// Total frames currently queued across classes.
+    pub fn depth(&self) -> usize {
+        self.joins.len() + self.integrity.len() + self.gossip.len() + self.greeter.len()
+    }
+
+    /// Total payload bytes currently queued.
+    pub fn queued_bytes(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Frames currently queued in the join-critical class.
+    pub fn join_depth(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Shedding / backpressure counters so far.
+    pub fn stats(&self) -> ShedStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalMsg;
+
+    fn addr(d: u8) -> Addr {
+        Addr::new(10, 0, 0, d, 700)
+    }
+
+    fn join_frame() -> Bytes {
+        SignalMsg::Leave.encode()
+    }
+
+    fn gossip_frame() -> Bytes {
+        SignalMsg::StatsReport {
+            p2p_up_bytes: 1,
+            p2p_down_bytes: 2,
+        }
+        .encode()
+    }
+
+    #[test]
+    fn classifies_by_tag_without_decoding() {
+        assert_eq!(
+            MsgClass::of_frame(&SignalMsg::Leave.encode()),
+            MsgClass::JoinCritical
+        );
+        assert_eq!(MsgClass::of_frame(&gossip_frame()), MsgClass::Gossip);
+        assert_eq!(
+            MsgClass::of_frame(
+                &SignalMsg::ImReport {
+                    video: "v".into(),
+                    rendition: 0,
+                    seq: 1,
+                    im: "00".repeat(32),
+                }
+                .encode()
+            ),
+            MsgClass::Integrity
+        );
+        assert_eq!(MsgClass::of_frame(b"hello-greeter"), MsgClass::Greeter);
+        assert_eq!(MsgClass::of_frame(b"TLS|"), MsgClass::Greeter);
+    }
+
+    #[test]
+    fn per_connection_cap_backpressures_one_hot_address() {
+        let mut inbox = BoundedInboxes::new(InboxConfig {
+            per_conn_cap: 2,
+            ..InboxConfig::default()
+        });
+        assert_eq!(inbox.offer(addr(1), gossip_frame()), Admit::Enqueued);
+        assert_eq!(inbox.offer(addr(1), gossip_frame()), Admit::Enqueued);
+        assert_eq!(inbox.offer(addr(1), gossip_frame()), Admit::Backpressure);
+        // Other connections are unaffected.
+        assert_eq!(inbox.offer(addr(2), gossip_frame()), Admit::Enqueued);
+        // A hot address's *join* is refused loudly, not silently.
+        assert_eq!(inbox.offer(addr(1), join_frame()), Admit::DenyJoin);
+        assert_eq!(inbox.stats().backpressured, 1);
+        assert_eq!(inbox.stats().denied_joins, 1);
+    }
+
+    #[test]
+    fn class_caps_shed_low_priority_first() {
+        let mut inbox = BoundedInboxes::new(InboxConfig {
+            per_conn_cap: 100,
+            join_cap: 100,
+            integrity_cap: 100,
+            gossip_cap: 100,
+            greeter_cap: 2,
+        });
+        for d in 1..=10u8 {
+            inbox.offer(addr(d), Bytes::from_static(b"junk-greeter"));
+        }
+        assert_eq!(inbox.stats().shed_greeter, 8);
+        // Joins sail past a full greeter queue.
+        assert_eq!(inbox.offer(addr(11), join_frame()), Admit::Enqueued);
+    }
+
+    #[test]
+    fn drain_is_priority_ordered_and_budgeted() {
+        let mut inbox = BoundedInboxes::new(InboxConfig::default());
+        inbox.offer(addr(1), Bytes::from_static(b"junk"));
+        inbox.offer(addr(2), gossip_frame());
+        inbox.offer(addr(3), join_frame());
+        inbox.offer(addr(4), join_frame());
+
+        let (mut joins, mut other) = (Vec::new(), Vec::new());
+        // Budget 4: exactly one join (cost 4) drains.
+        let spent = inbox.drain_tick(4, &mut joins, &mut other);
+        assert_eq!(spent, 4);
+        assert_eq!(joins.len(), 1);
+        assert_eq!(joins[0].0, addr(3));
+        assert!(other.is_empty());
+
+        // The rest drains join-first, then gossip, then greeter.
+        let spent = inbox.drain_tick(100, &mut joins, &mut other);
+        assert_eq!(spent, 6);
+        assert_eq!(joins.len(), 2);
+        assert_eq!(other.len(), 2);
+        assert_eq!(other[0].0, addr(2), "gossip before greeter");
+        assert_eq!(other[1].0, addr(1));
+        assert_eq!(inbox.depth(), 0);
+        assert_eq!(inbox.queued_bytes(), 0);
+        assert!(inbox.stats().peak_depth >= 4);
+    }
+}

@@ -73,20 +73,27 @@ struct Member {
 }
 
 /// One swarm: members in join order (candidate selection walks them
-/// youngest-first).
+/// youngest-first). Removal tombstones the slot in place — the position
+/// index lives in [`PeerSlot::swarm_pos`], so a leave is O(1) instead of
+/// a scan of the whole membership (the old `position()` scan turned
+/// high-churn service runs with 100k-member swarms quadratic). Iteration
+/// order of live members is join order, exactly as before; the dead share
+/// is compacted once it exceeds the live population.
 #[derive(Debug, Default)]
 struct Swarm {
-    members: Vec<Member>,
+    members: Vec<Option<Member>>,
+    live: u32,
 }
 
-/// Slab entry for a live peer. `swarm` is the back-pointer that makes
-/// removal O(one swarm) instead of O(all swarms).
+/// Slab entry for a live peer. `swarm`/`swarm_pos` are the back-pointers
+/// that make removal O(1) instead of O(all swarms) / O(one swarm).
 #[derive(Debug)]
 struct PeerSlot {
     addr: Addr,
     customer: u32,
     last_seen: SimTime,
     swarm: u32,
+    swarm_pos: u32,
 }
 
 /// State of integrity metadata for one segment (§V-B). Distinct IMs are
@@ -117,6 +124,47 @@ pub struct DefenseStats {
     /// IM-report records dropped by the state caps (entry FIFO evictions
     /// plus reports discarded at the distinct-IM / per-IM caps).
     pub im_evictions: u64,
+}
+
+/// Batch-local admission memos for draining an arrival burst in one
+/// server tick.
+///
+/// An open-loop tick hands the server a run of `Join` frames that
+/// overwhelmingly target the same video/manifest and present the same
+/// customer key (a flash crowd is by definition many arrivals to one
+/// stream). The batch caches the last swarm resolution and the last
+/// *successful* static-key authentication so the burst costs one
+/// interner/registry pass instead of one per frame. Purely an
+/// accelerator: replies and server state are byte-identical with and
+/// without a batch (see `batch_matches_sequential` in the tests).
+#[derive(Debug, Default)]
+pub struct AdmissionBatch {
+    /// (video, manifest_hash) -> swarm slot.
+    swarm_memo: Option<(String, String, u32)>,
+    /// (api_key, origin) -> customer_id; only `StaticApiKey` / `TenantKey`
+    /// successes (token schemes mutate validator state, so they always
+    /// take the full path).
+    auth_memo: Option<(String, String, String)>,
+    /// Memo hits (observability for the service harness).
+    hits: u64,
+}
+
+impl AdmissionBatch {
+    /// Creates an empty batch scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the memos; call between ticks when reusing the allocation.
+    pub fn clear(&mut self) {
+        self.swarm_memo = None;
+        self.auth_memo = None;
+    }
+
+    /// Memo hits since construction (across `clear` calls).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
 }
 
 /// The PDN signaling server. See the [module docs](self).
@@ -365,6 +413,46 @@ impl SignalingServer {
         self.reply_scratch = replies;
     }
 
+    /// Handles a burst of raw frames as one admission batch.
+    ///
+    /// Frames are processed strictly in order with batch-local memos
+    /// ([`AdmissionBatch`]) carrying swarm resolution and static-key
+    /// authentication across the burst, and replies use the same
+    /// adjacent-duplicate encode reuse as
+    /// [`SignalingServer::handle_frame_into`]. Reply bytes and server
+    /// state are identical to calling `handle_frame_into` once per frame;
+    /// only the cost differs. Undecodable frames are skipped.
+    pub fn handle_frames_batch_into(
+        &mut self,
+        frames: &[(Addr, bytes::Bytes)],
+        now: SimTime,
+        geoip: &GeoIpService,
+        batch: &mut AdmissionBatch,
+        out: &mut Vec<(Addr, bytes::Bytes)>,
+    ) {
+        batch.clear();
+        let mut replies = std::mem::take(&mut self.reply_scratch);
+        for (from, frame) in frames {
+            let Some(msg) = SignalMsg::decode(frame) else {
+                continue;
+            };
+            replies.clear();
+            self.handle_msg(*from, msg, now, geoip, Some(batch), &mut replies);
+            let mut prev: Option<bytes::Bytes> = None;
+            for i in 0..replies.len() {
+                let (addr, reply) = &replies[i];
+                let encoded = match (&prev, i.checked_sub(1)) {
+                    (Some(bytes), Some(j)) if replies[j].1 == *reply => bytes.clone(),
+                    _ => reply.encode(),
+                };
+                prev = Some(encoded.clone());
+                out.push((*addr, encoded));
+            }
+        }
+        replies.clear();
+        self.reply_scratch = replies;
+    }
+
     /// Allocating wrapper around [`SignalingServer::handle_frame_into`].
     pub fn handle_frame(
         &mut self,
@@ -388,6 +476,18 @@ impl SignalingServer {
         geoip: &GeoIpService,
         out: &mut Vec<(Addr, SignalMsg)>,
     ) {
+        self.handle_msg(from, msg, now, geoip, None, out)
+    }
+
+    fn handle_msg(
+        &mut self,
+        from: Addr,
+        msg: SignalMsg,
+        now: SimTime,
+        geoip: &GeoIpService,
+        batch: Option<&mut AdmissionBatch>,
+        out: &mut Vec<(Addr, SignalMsg)>,
+    ) {
         match msg {
             SignalMsg::Join {
                 api_key,
@@ -406,6 +506,7 @@ impl SignalingServer {
                 sdp,
                 now,
                 geoip,
+                batch,
                 out,
             ),
             SignalMsg::StatsReport {
@@ -449,6 +550,7 @@ impl SignalingServer {
         sdp: pdn_webrtc::SessionDescription,
         now: SimTime,
         geoip: &GeoIpService,
+        mut batch: Option<&mut AdmissionBatch>,
         out: &mut Vec<(Addr, SignalMsg)>,
     ) {
         // §V-B: peer identity binds to the transport address so expelled
@@ -476,7 +578,14 @@ impl SignalingServer {
             }
         }
 
-        let customer_id = match self.authenticate(&api_key, &token, &origin, &video, now) {
+        let customer_id = match self.authenticate_memo(
+            &api_key,
+            &token,
+            &origin,
+            &video,
+            now,
+            batch.as_deref_mut(),
+        ) {
             Ok(id) => id,
             Err(e) => {
                 out.push((
@@ -501,27 +610,7 @@ impl SignalingServer {
             None => (None, None),
         };
 
-        let video_id = self.videos.intern(&video);
-        let manifest_id = self.manifests.intern(&manifest_hash);
-        let slot = match self.swarm_index.get(&(video_id, manifest_id)) {
-            Some(&slot) => slot,
-            None => {
-                let slot = self.swarms.len() as u32;
-                self.swarms.push(Swarm::default());
-                self.swarm_index.insert((video_id, manifest_id), slot);
-                // Keep the per-video slot list sorted by manifest-hash
-                // string: the SIM broadcast iterates it in this order.
-                let list = self.video_swarms.entry(video_id).or_default();
-                let pos = list
-                    .binary_search_by(|&s| {
-                        let (_, m) = slot_key(&self.swarm_index, s);
-                        self.manifests.resolve(m).cmp(&manifest_hash)
-                    })
-                    .unwrap_or_else(|p| p);
-                list.insert(pos, slot);
-                slot
-            }
-        };
+        let slot = self.resolve_swarm(&video, &manifest_hash, batch);
 
         // Candidate neighbors under the matching policy: walking members
         // youngest-first with an early cap is exactly the old
@@ -530,7 +619,7 @@ impl SignalingServer {
         let mut neighbors: Vec<(u64, pdn_webrtc::SessionDescription)> =
             Vec::with_capacity(self.max_neighbors.min(members.len()));
         let mut notify: Vec<Addr> = Vec::with_capacity(neighbors.capacity());
-        for m in members.iter().rev() {
+        for m in members.iter().rev().flatten() {
             if neighbors.len() == self.max_neighbors {
                 break;
             }
@@ -549,13 +638,16 @@ impl SignalingServer {
             notify.push(m.addr);
         }
 
-        self.swarms[slot as usize].members.push(Member {
+        let swarm = &mut self.swarms[slot as usize];
+        let swarm_pos = swarm.members.len() as u32;
+        swarm.members.push(Some(Member {
             peer_id,
             addr: from,
             sdp: sdp.clone(),
             country,
             isp,
-        });
+        }));
+        swarm.live += 1;
         let customer = self.customers.intern(&customer_id);
         debug_assert_eq!(self.peers.len() as u64, peer_id - 1);
         self.peers.push(Some(PeerSlot {
@@ -563,6 +655,7 @@ impl SignalingServer {
             customer,
             last_seen: now,
             swarm: slot,
+            swarm_pos,
         }));
         self.live_peers += 1;
         self.addr_index.insert(from, peer_id);
@@ -578,6 +671,93 @@ impl SignalingServer {
                 },
             ));
         }
+    }
+
+    /// Resolves `(video, manifest)` to a swarm slot, creating the swarm on
+    /// first sight. With a batch, consecutive joins to the same stream hit
+    /// the memo instead of the interners + index.
+    fn resolve_swarm(
+        &mut self,
+        video: &str,
+        manifest_hash: &str,
+        batch: Option<&mut AdmissionBatch>,
+    ) -> u32 {
+        if let Some(b) = &batch {
+            if let Some((v, m, slot)) = &b.swarm_memo {
+                if v == video && m == manifest_hash {
+                    let slot = *slot;
+                    if let Some(b) = batch {
+                        b.hits += 1;
+                    }
+                    return slot;
+                }
+            }
+        }
+        let video_id = self.videos.intern(video);
+        let manifest_id = self.manifests.intern(manifest_hash);
+        let slot = match self.swarm_index.get(&(video_id, manifest_id)) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.swarms.len() as u32;
+                self.swarms.push(Swarm::default());
+                self.swarm_index.insert((video_id, manifest_id), slot);
+                // Keep the per-video slot list sorted by manifest-hash
+                // string: the SIM broadcast iterates it in this order.
+                let list = self.video_swarms.entry(video_id).or_default();
+                let pos = list
+                    .binary_search_by(|&s| {
+                        let (_, m) = slot_key(&self.swarm_index, s);
+                        self.manifests.resolve(m).cmp(manifest_hash)
+                    })
+                    .unwrap_or_else(|p| p);
+                list.insert(pos, slot);
+                slot
+            }
+        };
+        if let Some(b) = batch {
+            b.swarm_memo = Some((video.to_string(), manifest_hash.to_string(), slot));
+        }
+        slot
+    }
+
+    /// [`SignalingServer::authenticate`] behind the batch's auth memo.
+    /// Only static-key schemes are memoizable (the account registry is
+    /// read-only under them); token schemes mutate validator state, and
+    /// failures must re-run to produce their exact error, so both always
+    /// take the full path.
+    fn authenticate_memo(
+        &mut self,
+        api_key: &Option<String>,
+        token: &Option<String>,
+        origin: &str,
+        video: &str,
+        now: SimTime,
+        batch: Option<&mut AdmissionBatch>,
+    ) -> Result<String, AuthError> {
+        let memoizable = matches!(
+            self.profile.auth,
+            AuthScheme::StaticApiKey | AuthScheme::TenantKey
+        );
+        if memoizable {
+            if let (Some(b), Some(key)) = (&batch, api_key.as_deref()) {
+                if let Some((k, o, customer)) = &b.auth_memo {
+                    if k == key && o == origin {
+                        let customer = customer.clone();
+                        if let Some(b) = batch {
+                            b.hits += 1;
+                        }
+                        return Ok(customer);
+                    }
+                }
+            }
+        }
+        let result = self.authenticate(api_key, token, origin, video, now);
+        if memoizable {
+            if let (Some(b), Some(key), Ok(customer)) = (batch, api_key.as_deref(), &result) {
+                b.auth_memo = Some((key.to_string(), origin.to_string(), customer.clone()));
+            }
+        }
+        result
     }
 
     fn authenticate(
@@ -761,7 +941,7 @@ impl SignalingServer {
         let mut seen: FxHashSet<u64> = FxHashSet::default();
         if let Some(slots) = self.video_swarms.get(&video_id) {
             for &slot in slots {
-                for m in &self.swarms[slot as usize].members {
+                for m in self.swarms[slot as usize].members.iter().flatten() {
                     if self.blacklist.contains(&m.peer_id) || !seen.insert(m.peer_id) {
                         continue;
                     }
@@ -818,22 +998,51 @@ impl SignalingServer {
             }
             let watched = now.saturating_since(info.last_seen);
             self.meter_mut(info.customer).add_viewer_time(watched);
-            self.remove_member(info.swarm, peer_id);
+            self.remove_member(info.swarm, info.swarm_pos, peer_id);
         }
     }
 
     /// Removes a (possibly still live) peer from its swarm via the
-    /// reverse index — O(one swarm) instead of the old every-swarm scan.
+    /// reverse indexes — O(1) instead of the old membership scan.
     fn remove_from_swarms(&mut self, peer_id: u64) {
-        if let Some(slot) = self.peer(peer_id).map(|p| p.swarm) {
-            self.remove_member(slot, peer_id);
+        if let Some((slot, pos)) = self.peer(peer_id).map(|p| (p.swarm, p.swarm_pos)) {
+            self.remove_member(slot, pos, peer_id);
         }
     }
 
-    fn remove_member(&mut self, slot: u32, peer_id: u64) {
-        let members = &mut self.swarms[slot as usize].members;
-        if let Some(pos) = members.iter().position(|m| m.peer_id == peer_id) {
-            members.remove(pos);
+    /// Tombstones the member at `pos` if it is still `peer_id` (a
+    /// compaction may have moved it; a blacklist removal may already have
+    /// cleared it), then compacts the swarm once tombstones outnumber
+    /// live members.
+    fn remove_member(&mut self, slot: u32, pos: u32, peer_id: u64) {
+        let swarm = &mut self.swarms[slot as usize];
+        match swarm.members.get_mut(pos as usize) {
+            Some(m @ Some(_)) if m.as_ref().is_some_and(|m| m.peer_id == peer_id) => {
+                *m = None;
+                swarm.live -= 1;
+            }
+            _ => return,
+        }
+        let dead = swarm.members.len() - swarm.live as usize;
+        if dead > (swarm.live as usize).max(32) {
+            self.compact_swarm(slot);
+        }
+    }
+
+    /// Drops tombstones from a swarm, preserving join order, and rewrites
+    /// the `swarm_pos` back-pointers of the surviving members.
+    fn compact_swarm(&mut self, slot: u32) {
+        let swarm = &mut self.swarms[slot as usize];
+        swarm.members.retain(Option::is_some);
+        for (pos, m) in swarm.members.iter().enumerate() {
+            let peer_id = m.as_ref().expect("tombstones retained out").peer_id;
+            if let Some(p) = self
+                .peers
+                .get_mut(peer_id as usize - 1)
+                .and_then(Option::as_mut)
+            {
+                p.swarm_pos = pos as u32;
+            }
         }
     }
 }
@@ -1325,5 +1534,114 @@ mod tests {
         };
         let r = s.handle(addr(1), j, SimTime::ZERO, &geo);
         assert!(matches!(r[..], [(_, SignalMsg::JoinDenied { .. })]));
+    }
+
+    /// A batched burst must be indistinguishable from per-frame handling:
+    /// identical reply bytes in identical order, identical server state.
+    #[test]
+    fn batch_matches_sequential() {
+        let (mut seq, geo) = server();
+        let (mut bat, _) = server();
+
+        let mut frames: Vec<(Addr, bytes::Bytes)> = Vec::new();
+        // A join burst to one stream (memo hits), a second stream, a bad
+        // key (denied, never memoized), a stats report, a leave, junk.
+        for d in 1..=20u8 {
+            frames.push((
+                addr(d),
+                join("victim.tv", "v", "key-victim", d as u64).encode(),
+            ));
+        }
+        frames.push((
+            addr(21),
+            join("victim.tv", "other", "key-victim", 21).encode(),
+        ));
+        frames.push((addr(22), join("victim.tv", "v", "wrong-key", 22).encode()));
+        frames.push((
+            addr(3),
+            SignalMsg::StatsReport {
+                p2p_up_bytes: 10,
+                p2p_down_bytes: 20,
+            }
+            .encode(),
+        ));
+        frames.push((addr(4), SignalMsg::Leave.encode()));
+        frames.push((addr(23), bytes::Bytes::from_static(b"not a frame")));
+        frames.push((addr(24), join("victim.tv", "v", "key-victim", 24).encode()));
+
+        let now = SimTime::from_secs(5);
+        let mut seq_out = Vec::new();
+        for (from, frame) in &frames {
+            seq.handle_frame_into(*from, frame, now, &geo, &mut seq_out);
+        }
+
+        let mut batch = AdmissionBatch::new();
+        let mut bat_out = Vec::new();
+        bat.handle_frames_batch_into(&frames, now, &geo, &mut batch, &mut bat_out);
+
+        assert_eq!(seq_out, bat_out, "reply streams diverged");
+        assert!(batch.hits() > 0, "burst should hit the memos");
+        assert_eq!(seq.peer_count(), bat.peer_count());
+        assert_eq!(seq.meter("victim"), bat.meter("victim"));
+    }
+
+    /// Heavy join/leave churn through the tombstoned membership: the
+    /// compactor must keep `swarm_pos` back-pointers valid and neighbor
+    /// introduction must only ever offer live peers.
+    #[test]
+    fn churn_keeps_membership_consistent() {
+        let (mut s, geo) = server();
+        for d in 1..=120u8 {
+            s.handle(
+                addr(d),
+                join("victim.tv", "v", "key-victim", d as u64),
+                SimTime::ZERO,
+                &geo,
+            );
+        }
+        assert_eq!(s.peer_count(), 120);
+        // Leave in a scattered order to exercise tombstones + compaction.
+        for d in (1..=100u8).rev() {
+            s.handle(addr(d), SignalMsg::Leave, SimTime::from_secs(1), &geo);
+        }
+        assert_eq!(s.peer_count(), 20);
+        // Double-leave is a no-op.
+        s.handle(addr(50), SignalMsg::Leave, SimTime::from_secs(1), &geo);
+        assert_eq!(s.peer_count(), 20);
+
+        let replies = s.handle(
+            addr(200),
+            join("victim.tv", "v", "key-victim", 200),
+            SimTime::from_secs(2),
+            &geo,
+        );
+        let (_, SignalMsg::JoinOk { neighbors, .. }) = &replies[0] else {
+            panic!("expected JoinOk, got {replies:?}");
+        };
+        assert_eq!(neighbors.len(), 4, "full neighbor set from survivors");
+        for (peer_id, _) in neighbors {
+            // Survivors are peers 101..=120; the leavers must never be
+            // offered.
+            assert!(
+                (101..=120).contains(peer_id),
+                "introduced dead peer {peer_id}"
+            );
+        }
+        // Leave everyone, rejoin, and the swarm still works.
+        for d in 101..=120u8 {
+            s.handle(addr(d), SignalMsg::Leave, SimTime::from_secs(3), &geo);
+        }
+        s.handle(addr(200), SignalMsg::Leave, SimTime::from_secs(3), &geo);
+        assert_eq!(s.peer_count(), 0);
+        let replies = s.handle(
+            addr(201),
+            join("victim.tv", "v", "key-victim", 201),
+            SimTime::from_secs(4),
+            &geo,
+        );
+        assert!(matches!(
+            replies[..],
+            [(_, SignalMsg::JoinOk { ref neighbors, .. })] if neighbors.is_empty()
+        ));
     }
 }

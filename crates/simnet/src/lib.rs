@@ -38,8 +38,10 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod arrival;
 pub mod fxhash;
 mod geo;
+mod hist;
 mod nat;
 mod net;
 pub mod profile;
@@ -52,8 +54,10 @@ mod time;
 pub mod wire;
 
 pub use addr::{Addr, IpClass};
+pub use arrival::{PoissonArrivals, RatePlan};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, Interner};
 pub use geo::{continent_of, Continent, CountryCode, CountryMix, GeoInfo, GeoIpService};
+pub use hist::{LatencyHistogram, RELATIVE_ERROR, SUB_BUCKETS};
 pub use nat::{Nat, NatKind};
 pub use net::{
     CaptureFilter, CapturedFrame, Datagram, DropReason, Event, LinkSpec, NatId, Network, NodeId,
