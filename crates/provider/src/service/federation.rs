@@ -1,0 +1,517 @@
+//! Federated tracker plane: K shared-nothing regional trackers serving
+//! one global audience under conservative-PDES.
+//!
+//! The paper's providers hang their whole audience off a handful of
+//! signaling trackers — the same single-rendezvous bottleneck that limits
+//! Snowflake's broker. PR 9 measured exactly one tracker's knee; this
+//! module scales the open-loop service harness *out*: each region is a
+//! full [`ServiceWorld`] (signaling server + bounded inboxes + pooled
+//! clients + its own CDN edge), run as a spatial shard under
+//! [`pdn_simnet::shard::run_sharded`]. Regions exchange two kinds of
+//! cross-shard traffic, both stamped one inter-region latency into the
+//! future so the lookahead invariant holds by construction:
+//!
+//! - **Spilled arrivals** — the region-affinity admission router sends
+//!   each viewer to its home tracker, but when the home join queue is
+//!   already `spill_threshold` deep (or the home tracker is dead), the
+//!   arrival re-routes to the next region instead of piling onto a queue
+//!   that will deny it anyway. Routed arrivals never re-spill (no
+//!   ping-pong).
+//! - **Session handoffs** — a failover no longer just multiplies offered
+//!   load ([`RatePlan::Failover`]): at the failover instant the dead
+//!   tracker's live sessions *migrate*. Each carried session re-joins the
+//!   next region with its old global peer id and (for watching sessions
+//!   whose fetch completed post-failover) its remaining availability
+//!   window; the target's `JoinOk` closes the handoff and its latency is
+//!   recorded from the failover instant.
+//!
+//! Global peer ids are `(region << 56) | local_id`; locals are monotone
+//! per tracker and regions are fixed, so no id is ever recycled — the
+//! handoff property test pins that, along with conservation (every
+//! migrated session is admitted, explicitly denied, or turned away at the
+//! pool cap; none silently lost).
+//!
+//! Determinism: at K=1 the shard runner reduces to the serial loop and the
+//! router never spills, so a 1-region federation is *byte-identical* to
+//! [`run_service`] on the same config (pinned by
+//! `tests/federation_differential.rs`). At any K the report is identical
+//! across inline/threaded shard modes and across repeated runs, which the
+//! bench double-runs and `check.sh` gate on.
+
+use std::time::Duration;
+
+use pdn_simnet::shard::{run_sharded, ShardMode, ShardWorld};
+use pdn_simnet::{Event, LatencyHistogram, RatePlan, SimTime};
+
+use super::harness::{CarriedSession, ServiceConfig, ServiceReport, ServiceWorld, TOK_ARRIVAL};
+
+/// Failover trigger timer on the region's server node (tokens 0–2 belong
+/// to the harness dispatcher).
+const TOK_FED_FAIL: u64 = 3;
+/// Cross-region delivery timer: `token & 7 == TOK_FED_DELIVER`, slab slot
+/// in the high bits.
+const TOK_FED_DELIVER: u64 = 4;
+
+/// Region tag bits in a global peer id: `(region << 56) | local`.
+const REGION_SHIFT: u32 = 56;
+
+/// Turns a region-local peer id into a global one (0 stays 0: "session
+/// had no id yet").
+fn globalize(region: usize, local: u64) -> u64 {
+    if local == 0 {
+        0
+    } else {
+        ((region as u64) << REGION_SHIFT) | local
+    }
+}
+
+/// Everything one federated run needs to know.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Per-region template. Region `r` runs this config with seed
+    /// `base.seed + r·φ` (region 0 keeps the base seed, which is what
+    /// makes the K=1 differential exact); every region gets the full
+    /// `plan`, so aggregate offered load is K× the single-tracker load.
+    pub base: ServiceConfig,
+    /// Number of regional trackers (K ≥ 1).
+    pub regions: usize,
+    /// Minimum inter-region link latency — the conservative lookahead.
+    /// Every cross-region message is stamped exactly this far ahead.
+    pub inter_region_latency: Duration,
+    /// Join-queue depth at which the admission router spills a fresh
+    /// arrival to the next region instead of the home tracker.
+    /// `usize::MAX` disables spilling. Ignored at K=1.
+    pub spill_threshold: usize,
+    /// Kill tracker `(region, at)`: it stops draining, inbound frames are
+    /// dropped and counted, and live sessions migrate to the next region.
+    pub fail_region: Option<(usize, Duration)>,
+    /// How the shard runner maps regions onto threads.
+    pub mode: ShardMode,
+}
+
+impl FederationConfig {
+    /// A federation of `regions` trackers over a per-region `plan`, with
+    /// service-scale defaults (30 ms inter-region links, spill at 4× the
+    /// tick budget, no failover, honest auto threading).
+    pub fn new(regions: usize, plan: RatePlan) -> Self {
+        let base = ServiceConfig::new(plan);
+        FederationConfig {
+            spill_threshold: base.tick_budget as usize * 4,
+            base,
+            regions,
+            inter_region_latency: Duration::from_millis(30),
+            fail_region: None,
+            mode: ShardMode::Auto,
+        }
+    }
+
+    /// The config region `r` actually runs.
+    pub fn region_cfg(&self, r: usize) -> ServiceConfig {
+        let mut cfg = self.base.clone();
+        cfg.seed = self
+            .base
+            .seed
+            .wrapping_add((r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        cfg
+    }
+}
+
+/// A cross-region message: a routed arrival or a session handoff, stamped
+/// with its arrival time at the destination tracker.
+#[derive(Debug, Clone, Copy)]
+struct FedMsg {
+    at: SimTime,
+    payload: FedPayload,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FedPayload {
+    /// A fresh viewer spilled from an overloaded (or dead) home region.
+    Arrival,
+    /// A live session migrating off a failed tracker. `old_global` is
+    /// already globalized by the source region.
+    Handoff(CarriedSession),
+}
+
+/// One regional tracker as a spatial shard: wraps a [`ServiceWorld`] and
+/// intercepts exactly three event kinds — fresh arrivals (to route),
+/// failover triggers, and cross-region deliveries. Everything else goes
+/// straight to the world's dispatcher, which is what makes the K=1
+/// differential byte-exact.
+struct RegionShard {
+    index: usize,
+    k: usize,
+    world: ServiceWorld,
+    latency: Duration,
+    spill_threshold: usize,
+    /// Payloads parked between [`ShardWorld::deliver`] and their delivery
+    /// timer firing; slot-addressed so stamps, not insertion order, decide
+    /// processing order.
+    slab: Vec<Option<FedPayload>>,
+    free_slots: Vec<usize>,
+    spilled_out: u64,
+    spilled_in: u64,
+    migrated_out: u64,
+    handoffs_turned_away: u64,
+    handoffs_stranded: u64,
+}
+
+impl RegionShard {
+    fn new(cfg: &FederationConfig, index: usize) -> Self {
+        let mut world = ServiceWorld::new(&cfg.region_cfg(index));
+        if let Some((r, at)) = cfg.fail_region {
+            if r == index {
+                world.net.set_timer(world.server, at, TOK_FED_FAIL);
+            }
+        }
+        RegionShard {
+            index,
+            k: cfg.regions,
+            world,
+            latency: cfg.inter_region_latency,
+            spill_threshold: cfg.spill_threshold,
+            slab: Vec::new(),
+            free_slots: Vec::new(),
+            spilled_out: 0,
+            spilled_in: 0,
+            migrated_out: 0,
+            handoffs_turned_away: 0,
+            handoffs_stranded: 0,
+        }
+    }
+
+    fn next_region(&self) -> usize {
+        (self.index + 1) % self.k
+    }
+
+    /// Globalizes and ships one migrating session to the next region. A
+    /// 1-region federation has no live sibling: the session strands (the
+    /// honest K=1 failover outcome — re-joining the dead tracker itself
+    /// would recycle client slots under stale in-flight replies).
+    fn route_handoff(
+        &mut self,
+        mut h: CarriedSession,
+        now: SimTime,
+        outbox: &mut Vec<(usize, FedMsg)>,
+    ) {
+        self.migrated_out += 1;
+        if self.k == 1 {
+            self.handoffs_stranded += 1;
+            return;
+        }
+        h.old_global = globalize(self.index, h.old_global);
+        outbox.push((
+            self.next_region(),
+            FedMsg {
+                at: now + self.latency,
+                payload: FedPayload::Handoff(h),
+            },
+        ));
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Event, outbox: &mut Vec<(usize, FedMsg)>) {
+        match ev {
+            Event::Timer { node, token } if node == self.world.server && token == TOK_ARRIVAL => {
+                self.world.report.net_events += 1;
+                self.world.report.arrivals += 1;
+                // Region-affinity routing: home tracker unless its join
+                // queue is past the spill point or it is dead.
+                let spill = self.k > 1
+                    && (self.world.tracker_dead
+                        || self.world.inbox.join_depth() >= self.spill_threshold);
+                if spill {
+                    self.spilled_out += 1;
+                    outbox.push((
+                        self.next_region(),
+                        FedMsg {
+                            at: now + self.latency,
+                            payload: FedPayload::Arrival,
+                        },
+                    ));
+                } else {
+                    self.world.start_session(now, None);
+                }
+                self.world.schedule_next_arrival(now);
+            }
+            Event::Timer { node, token } if node == self.world.server && token == TOK_FED_FAIL => {
+                self.world.report.net_events += 1;
+                for h in self.world.fail_tracker(now) {
+                    self.route_handoff(h, now, outbox);
+                }
+            }
+            Event::Timer { node, token }
+                if node == self.world.server && token & 7 == TOK_FED_DELIVER =>
+            {
+                self.world.report.net_events += 1;
+                let slot = (token >> 3) as usize;
+                let payload = self.slab[slot].take().expect("federation delivery slot");
+                self.free_slots.push(slot);
+                match payload {
+                    FedPayload::Arrival => {
+                        // Counted as an arrival at the home region;
+                        // routed arrivals never re-spill.
+                        self.spilled_in += 1;
+                        self.world.start_session(now, None);
+                    }
+                    FedPayload::Handoff(h) => {
+                        if !self.world.start_session(now, Some(h)) {
+                            self.handoffs_turned_away += 1;
+                        }
+                    }
+                }
+            }
+            _ => self.world.dispatch(now, ev),
+        }
+        // Fetch-completion migrations surface after any event (the CDN
+        // reply lands post-failover); ship them in the same window.
+        if !self.world.pending_handoffs.is_empty() {
+            for h in std::mem::take(&mut self.world.pending_handoffs) {
+                self.route_handoff(h, now, outbox);
+            }
+        }
+    }
+}
+
+impl ShardWorld for RegionShard {
+    type Msg = FedMsg;
+
+    fn next_at(&self) -> Option<SimTime> {
+        self.world.net.next_event_at()
+    }
+
+    fn run_window(&mut self, end: SimTime, outbox: &mut Vec<(usize, FedMsg)>) {
+        while let Some(at) = self.world.net.next_event_at() {
+            if at >= end {
+                break;
+            }
+            let (now, ev) = self.world.net.step().expect("peeked event exists");
+            self.handle(now, ev, outbox);
+        }
+    }
+
+    fn deliver(&mut self, msg: FedMsg) {
+        // Park the payload in a slot and burn a timer for it; the stamp
+        // decides processing order, not barrier insertion order.
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            self.slab.push(None);
+            self.slab.len() - 1
+        });
+        self.slab[slot] = Some(msg.payload);
+        let delay = msg.at.saturating_since(self.world.net.now());
+        self.world.net.set_timer(
+            self.world.server,
+            delay,
+            ((slot as u64) << 3) | TOK_FED_DELIVER,
+        );
+    }
+
+    fn stamp(msg: &FedMsg) -> SimTime {
+        msg.at
+    }
+}
+
+/// A completed cross-region handoff, in global peer-id space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandoffRecord {
+    /// Global peer id the session held on the failed tracker (0 if it
+    /// died mid-join, before an id was assigned).
+    pub old_global: u64,
+    /// Global peer id assigned by the target tracker.
+    pub new_global: u64,
+    /// Failover instant the session left the dead region.
+    pub migrated_at: SimTime,
+    /// `JoinOk` instant at the target — `completed_at - migrated_at` is
+    /// the handoff latency.
+    pub completed_at: SimTime,
+}
+
+/// Counters and per-region reports from one federated run. Deterministic
+/// per [`FederationConfig`], byte-identical across shard modes.
+#[derive(Debug, Clone)]
+pub struct FederationReport {
+    /// One [`ServiceReport`] per region, region order.
+    pub per_region: Vec<ServiceReport>,
+    /// All regions merged — the aggregate-knee numerator.
+    pub aggregate: ServiceReport,
+    /// Every completed handoff, target-region admission order.
+    pub handoffs: Vec<HandoffRecord>,
+    /// Failover-to-`JoinOk` latency of completed handoffs (ns).
+    pub handoff_latency: LatencyHistogram,
+    /// Sessions extracted from a failed tracker and shipped out.
+    pub migrated_out: u64,
+    /// Handoff re-joins the target tracker admitted (`JoinOk`).
+    pub migrated_in: u64,
+    /// Handoff re-joins explicitly denied at the target (overload).
+    pub handoffs_denied: u64,
+    /// Handoff re-joins dropped at the target's client-pool cap.
+    pub handoffs_turned_away: u64,
+    /// Migrated sessions with no live region to go to (K=1 failover).
+    pub handoffs_stranded: u64,
+    /// Fresh arrivals re-routed off an overloaded or dead home region.
+    pub spilled: u64,
+    /// Server-bound frames dropped at dead trackers.
+    pub dead_dropped: u64,
+    /// Lookahead windows the shard runner executed.
+    pub windows: u64,
+    /// Cross-region messages exchanged at barriers.
+    pub exchanged: u64,
+    /// Execution path actually taken: `"inline"` or `"threaded"`.
+    pub mode: &'static str,
+    /// Region count.
+    pub regions: usize,
+}
+
+/// Runs one federated scenario to completion. At `regions == 1` this is
+/// byte-identical to [`run_service`] on `cfg.base` (modulo nothing — the
+/// differential test compares debug-formatted reports).
+pub fn run_federation(cfg: &FederationConfig) -> FederationReport {
+    assert!(cfg.regions >= 1, "a federation needs at least one region");
+    let mut shards: Vec<RegionShard> = (0..cfg.regions).map(|r| RegionShard::new(cfg, r)).collect();
+    let deadline = shards[0].world.hard_end;
+    let run = run_sharded(&mut shards, cfg.inter_region_latency, deadline, cfg.mode);
+
+    let mut handoffs = Vec::new();
+    let mut handoff_latency = LatencyHistogram::new();
+    let mut per_region = Vec::with_capacity(cfg.regions);
+    let mut migrated_out = 0;
+    let mut handoffs_denied = 0;
+    let mut handoffs_turned_away = 0;
+    let mut handoffs_stranded = 0;
+    let mut spilled = 0;
+    let mut dead_dropped = 0;
+    for shard in &mut shards {
+        shard.world.finalize();
+        for &(old_global, new_local, t0, done) in &shard.world.handoffs_done {
+            let rec = HandoffRecord {
+                old_global,
+                new_global: globalize(shard.index, new_local),
+                migrated_at: t0,
+                completed_at: done,
+            };
+            handoff_latency.record(done.saturating_since(t0).as_nanos() as u64);
+            handoffs.push(rec);
+        }
+        migrated_out += shard.migrated_out;
+        handoffs_denied += shard.world.handoffs_denied;
+        handoffs_turned_away += shard.handoffs_turned_away;
+        handoffs_stranded += shard.handoffs_stranded;
+        spilled += shard.spilled_out;
+        dead_dropped += shard.world.dead_dropped;
+        per_region.push(shard.world.report.clone());
+    }
+    let mut aggregate = per_region[0].clone();
+    for r in &per_region[1..] {
+        aggregate.merge(r);
+    }
+    let migrated_in = handoffs.len() as u64;
+    FederationReport {
+        per_region,
+        aggregate,
+        handoffs,
+        handoff_latency,
+        migrated_out,
+        migrated_in,
+        handoffs_denied,
+        handoffs_turned_away,
+        handoffs_stranded,
+        spilled,
+        dead_dropped,
+        windows: run.windows,
+        exchanged: run.exchanged,
+        mode: run.mode,
+        regions: cfg.regions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::harness::run_service;
+    use super::*;
+
+    fn small_base() -> ServiceConfig {
+        let mut cfg = ServiceConfig::new(RatePlan::Steady { per_sec: 300.0 });
+        cfg.run_for = Duration::from_secs(4);
+        cfg.mean_session = Duration::from_secs(2);
+        cfg
+    }
+
+    #[test]
+    fn one_region_matches_run_service_exactly() {
+        let base = small_base();
+        let mut fed = FederationConfig::new(1, base.plan.clone());
+        fed.base = base.clone();
+        fed.mode = ShardMode::Inline;
+        let single = run_service(&base);
+        let federated = run_federation(&fed);
+        assert_eq!(
+            format!("{:?}", federated.per_region[0]),
+            format!("{single:?}"),
+            "K=1 federation must reduce to the serial harness"
+        );
+        assert_eq!(federated.exchanged, 0);
+        assert_eq!(federated.spilled, 0);
+        assert_eq!(federated.migrated_out, 0);
+    }
+
+    #[test]
+    fn reports_identical_across_shard_modes() {
+        let mut fed = FederationConfig::new(2, RatePlan::Steady { per_sec: 300.0 });
+        fed.base = small_base();
+        fed.fail_region = Some((0, Duration::from_secs(2)));
+        fed.mode = ShardMode::Inline;
+        let inline = run_federation(&fed);
+        fed.mode = ShardMode::Threaded;
+        let threaded = run_federation(&fed);
+        assert_eq!(
+            format!("{:?}", inline.per_region),
+            format!("{:?}", threaded.per_region)
+        );
+        assert_eq!(inline.handoffs, threaded.handoffs);
+        assert_eq!(inline.spilled, threaded.spilled);
+        assert_eq!(inline.windows, threaded.windows);
+        assert_eq!(threaded.mode, "threaded");
+    }
+
+    #[test]
+    fn failover_migrates_live_sessions() {
+        let mut fed = FederationConfig::new(2, RatePlan::Steady { per_sec: 300.0 });
+        fed.base = small_base();
+        fed.fail_region = Some((0, Duration::from_secs(2)));
+        fed.mode = ShardMode::Inline;
+        let rep = run_federation(&fed);
+        assert!(
+            rep.migrated_out > 0,
+            "live sessions must migrate at failover"
+        );
+        assert_eq!(
+            rep.migrated_out,
+            rep.migrated_in
+                + rep.handoffs_denied
+                + rep.handoffs_turned_away
+                + rep.handoffs_stranded,
+            "every migrated session is admitted, denied, turned away, or stranded"
+        );
+        assert_eq!(rep.handoffs_stranded, 0, "K=2 always has a live sibling");
+        assert!(rep.dead_dropped > 0, "dead tracker drops inbound frames");
+        assert!(
+            rep.handoff_latency.count() == rep.migrated_in,
+            "one latency sample per completed handoff"
+        );
+    }
+
+    #[test]
+    fn overload_spills_to_neighbor() {
+        let mut fed = FederationConfig::new(2, RatePlan::Steady { per_sec: 300.0 });
+        fed.base = small_base();
+        // Region 0 at 10× its knee: the home queue passes the spill
+        // threshold and the router sheds load sideways.
+        fed.base.plan = RatePlan::Steady { per_sec: 30_000.0 };
+        fed.spill_threshold = 64;
+        fed.mode = ShardMode::Inline;
+        let rep = run_federation(&fed);
+        assert!(
+            rep.spilled > 0,
+            "overload must spill arrivals to the neighbor"
+        );
+    }
+}

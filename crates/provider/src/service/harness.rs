@@ -42,10 +42,12 @@ use crate::profiles::ProviderProfile;
 use crate::proto::SignalMsg;
 use crate::signaling::{AdmissionBatch, SignalingServer};
 
-/// Timer tokens on the server node.
-const TOK_TICK: u64 = 0;
-const TOK_ARRIVAL: u64 = 1;
-const TOK_GREETER: u64 = 2;
+/// Timer tokens on the server node. Tokens ≥ 3 are reserved for the
+/// federation layer (failover trigger, cross-region deliveries); the
+/// dispatcher ignores them so a plain [`run_service`] never sees any.
+pub(crate) const TOK_TICK: u64 = 0;
+pub(crate) const TOK_ARRIVAL: u64 = 1;
+pub(crate) const TOK_GREETER: u64 = 2;
 /// Timer token kinds on client nodes (low bits; high bits carry the
 /// session generation so a recycled node ignores stale timers).
 const TOK_SESSION_END: u64 = 1;
@@ -85,6 +87,25 @@ pub struct ServiceConfig {
     pub max_clients: usize,
     /// Capture-ring cap in frames; overflow counts as tail drops.
     pub capture_limit: usize,
+    /// Warmup excluded from the `*_measured` counters: completions at or
+    /// before `ramp` (and after `run_for`) don't count toward measured
+    /// goodput, so short quick-gate runs and long full runs measure the
+    /// same steady-state window instead of diluting the ramp differently.
+    pub ramp: Duration,
+    /// What the bounded capture ring records (scenarios that only assert
+    /// on signaling needn't pay ring churn for CDN/P2P frames).
+    pub capture: CaptureScope,
+}
+
+/// Which datagrams the capture ring keeps. Narrowing the scope turns
+/// capture-ring drops from noise (everything overflowing the ring) into a
+/// signal about the traffic a scenario actually asserts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureScope {
+    /// Every datagram (the historical default).
+    Everything,
+    /// Only signaling-plane frames addressed to the tracker.
+    ServerSignaling,
 }
 
 impl ServiceConfig {
@@ -102,7 +123,14 @@ impl ServiceConfig {
             stats_every: Duration::from_secs(5),
             max_clients: 80_000,
             capture_limit: 4_096,
+            ramp: Duration::from_secs(1),
+            capture: CaptureScope::Everything,
         }
+    }
+
+    /// The measured steady-state window: `run_for` minus the ramp.
+    pub fn measured_window(&self) -> Duration {
+        self.run_for.saturating_sub(self.ramp)
     }
 
     /// Joins per second one tick budget can admit if every unit went to
@@ -126,6 +154,12 @@ pub struct ServiceReport {
     pub joins_denied: u64,
     /// Sessions that received their first segment — the goodput unit.
     pub first_segments: u64,
+    /// `first_segments` completed inside the measured window
+    /// `(ramp, run_for]` — the ramp-normalized goodput numerator.
+    pub first_segments_measured: u64,
+    /// `joins_ok` received inside the measured window — the
+    /// ramp-normalized admission-rate numerator (the knee unit).
+    pub joins_ok_measured: u64,
     /// Sessions that completed and left.
     pub leaves: u64,
     /// Arrivals dropped at the harness because the client pool was at
@@ -147,6 +181,9 @@ pub struct ServiceReport {
     pub capture_dropped: u64,
     /// Frames rejected by the capture filter.
     pub capture_filtered: u64,
+    /// Frames the ring actually kept (the drop-rate denominator's third
+    /// leg: kept + dropped + filtered = observed).
+    pub capture_kept: u64,
     /// Segment requests served by the CDN edge.
     pub cdn_requests: u64,
     /// Bytes the CDN egressed.
@@ -161,6 +198,55 @@ impl ServiceReport {
     pub fn goodput_per_sec(&self, run_for: Duration) -> f64 {
         self.first_segments as f64 / run_for.as_secs_f64().max(1e-9)
     }
+
+    /// Ramp-normalized goodput: first segments completed inside
+    /// `(ramp, run_for]` over the window length. Comparable between quick
+    /// (short) and full (long) runs, unlike [`Self::goodput_per_sec`]
+    /// whose denominator dilutes the ramp proportionally to run length.
+    pub fn measured_goodput_per_sec(&self, cfg: &ServiceConfig) -> f64 {
+        self.first_segments_measured as f64 / cfg.measured_window().as_secs_f64().max(1e-9)
+    }
+
+    /// Ramp-normalized admission rate (`JoinOk` per second inside the
+    /// measured window) — the knee unit for capacity sweeps.
+    pub fn measured_joins_ok_per_sec(&self, cfg: &ServiceConfig) -> f64 {
+        self.joins_ok_measured as f64 / cfg.measured_window().as_secs_f64().max(1e-9)
+    }
+
+    /// Share of capture-observed frames lost to the bounded ring, in
+    /// percent (kept + dropped + filtered = observed).
+    pub fn capture_drop_pct(&self) -> f64 {
+        let observed = self.capture_kept + self.capture_dropped + self.capture_filtered;
+        if observed == 0 {
+            return 0.0;
+        }
+        self.capture_dropped as f64 * 100.0 / observed as f64
+    }
+
+    /// Merges `other`'s counters and histograms into `self` (federation
+    /// aggregates per-region reports with this).
+    pub fn merge(&mut self, other: &ServiceReport) {
+        self.arrivals += other.arrivals;
+        self.joins_ok += other.joins_ok;
+        self.joins_denied += other.joins_denied;
+        self.first_segments += other.first_segments;
+        self.first_segments_measured += other.first_segments_measured;
+        self.joins_ok_measured += other.joins_ok_measured;
+        self.leaves += other.leaves;
+        self.turned_away += other.turned_away;
+        self.served_frames += other.served_frames;
+        self.batch_hits += other.batch_hits;
+        self.jtfs.merge(&other.jtfs);
+        self.rtt.merge(&other.rtt);
+        self.shed.merge(&other.shed);
+        self.peak_clients += other.peak_clients;
+        self.capture_dropped += other.capture_dropped;
+        self.capture_filtered += other.capture_filtered;
+        self.capture_kept += other.capture_kept;
+        self.cdn_requests += other.cdn_requests;
+        self.cdn_egress_bytes += other.cdn_egress_bytes;
+        self.net_events += other.net_events;
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,366 +257,631 @@ enum ClientState {
     Watching,
 }
 
+/// A session carried into this tracker from a failed region: the peer's
+/// old global id, the failover instant (handoff-latency origin), and the
+/// remaining watch time, if the session had already drawn one.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CarriedSession {
+    pub(crate) old_global: u64,
+    pub(crate) t0: SimTime,
+    pub(crate) remaining: Option<Duration>,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Client {
     state: ClientState,
     /// Session generation; stale timers from a previous occupant of this
     /// node carry an older generation and are ignored.
     session: u64,
+    /// Tracker-assigned peer id of the current session (0 until JoinOk).
+    peer_id: u64,
+    /// Pre-determined session length (handoff re-joins carry their
+    /// remaining watch time); `None` draws from the RNG as usual.
+    fixed_len: Option<Duration>,
+    /// Set while a handoff re-join is in flight; cleared at JoinOk.
+    carried: Option<CarriedSession>,
+}
+
+const IDLE_CLIENT: Client = Client {
+    state: ClientState::Idle,
+    session: 0,
+    peer_id: 0,
+    fixed_len: None,
+    carried: None,
+};
+
+/// A completed handoff admission: `(old_global, new_local_peer_id, t0,
+/// completed_at)`. The federation layer maps local ids to global ones.
+pub(crate) type HandoffDone = (u64, u64, SimTime, SimTime);
+
+/// One open-loop service world: the tracker + CDN + client pool of
+/// [`run_service`], held as a struct so the federation layer can run K of
+/// them as conservative-PDES shards and intercept individual events
+/// (arrival routing, failover migration) without duplicating the
+/// lifecycle logic. [`run_service`] is now a thin wrapper: construct,
+/// pump the network, finalize — behavior is unchanged.
+pub struct ServiceWorld {
+    pub(crate) cfg: ServiceConfig,
+    pub(crate) net: Network,
+    pub(crate) server: NodeId,
+    cdn_node: NodeId,
+    attackers: Vec<NodeId>,
+    pub(crate) server_addr: Addr,
+    cdn_addr: Addr,
+    first_client: u32,
+    sig: SignalingServer,
+    cdn: Cdn,
+    seg_id: SegmentId,
+    join_frame: Bytes,
+    overload_deny: Bytes,
+    leave_frame: Bytes,
+    stats_frame: Bytes,
+    greeter_frame: Bytes,
+    pub(crate) inbox: BoundedInboxes,
+    batch: AdmissionBatch,
+    arrivals: PoissonArrivals,
+    greeters: Option<PoissonArrivals>,
+    rng: SimRng,
+    clients: Vec<Client>,
+    free: Vec<u32>,
+    im_seq: u64,
+    pub(crate) report: ServiceReport,
+    pub(crate) run_end: SimTime,
+    pub(crate) hard_end: SimTime,
+    ramp_end: SimTime,
+    // Reused tick scratch.
+    tick_joins: Vec<(Addr, Bytes)>,
+    tick_other: Vec<(Addr, Bytes)>,
+    tick_out: Vec<(Addr, Bytes)>,
+    // --- federation hooks (inert in single-tracker runs) ---
+    /// Set at the failover instant: the tracker stops draining, inbound
+    /// server traffic is dropped and counted, live sessions migrate.
+    pub(crate) tracker_dead: bool,
+    /// Server-bound frames dropped because the tracker is dead.
+    pub(crate) dead_dropped: u64,
+    /// Sessions whose fetch completed after tracker death: they must
+    /// migrate instead of watching against a dead tracker. Drained by the
+    /// federation shard after every event.
+    pub(crate) pending_handoffs: Vec<CarriedSession>,
+    /// Handoff re-joins that completed admission here (target side).
+    pub(crate) handoffs_done: Vec<HandoffDone>,
+    /// Handoff re-joins denied here (explicit answer, not a lost session).
+    pub(crate) handoffs_denied: u64,
+}
+
+impl ServiceWorld {
+    /// Builds the world: nodes, server state, pre-encoded frames, primed
+    /// timers. `region` namespaces nothing here — single-tracker runs use
+    /// the config as-is.
+    pub fn new(cfg: &ServiceConfig) -> Self {
+        let mut net = Network::new(cfg.seed);
+        net.set_capture(true);
+        net.set_capture_limit(cfg.capture_limit);
+
+        let server = net.add_public_host(GeoInfo::new("US", 1, "AS-PDN"), LinkSpec::datacenter());
+        // One fat node stands in for the CDN edge fleet.
+        let cdn_link = LinkSpec {
+            latency: Duration::from_millis(2),
+            jitter: Duration::from_millis(1),
+            up_bps: 100_000_000_000,
+            down_bps: 100_000_000_000,
+            loss: 0.0,
+        };
+        let cdn_node = net.add_public_host(GeoInfo::new("US", 1, "AS-CDN"), cdn_link);
+        let mut attackers = Vec::with_capacity(ATTACKERS);
+        for i in 0..ATTACKERS {
+            attackers.push(net.add_public_host(
+                GeoInfo::new("RU", 1 + i as u16, "AS-GREET"),
+                LinkSpec::residential(),
+            ));
+        }
+        let server_addr = Addr::from_ip(net.ip(server), 443);
+        let cdn_addr = Addr::from_ip(net.ip(cdn_node), 80);
+        if cfg.capture == CaptureScope::ServerSignaling {
+            net.set_capture_filter(Box::new(move |_, d| d.dst == server_addr));
+        }
+        // Client node ids start right after the fixed nodes.
+        let first_client = 2 + ATTACKERS as u32;
+
+        let mut profile = ProviderProfile::peer5();
+        profile.segment_integrity_check = true;
+        let mut sig = SignalingServer::new(profile, cfg.seed);
+        sig.accounts_mut().register(CustomerAccount::new(
+            "svc",
+            "svc-key",
+            ["svc.example".to_string()],
+        ));
+
+        let mut origin = OriginServer::new();
+        // 1.6 Mbps × 500 ms ≈ 100 KB first segment.
+        origin.publish(VideoSource::vod(
+            "v",
+            vec![1_600_000],
+            Duration::from_millis(500),
+            16,
+        ));
+        let cdn = Cdn::new(origin, 64 << 20);
+        let seg_id = SegmentId {
+            video: VideoId::new("v"),
+            rendition: 0,
+            seq: 0,
+        };
+
+        // Every arrival sends the same join (clients are interchangeable;
+        // identity is the transport address), so the frame encodes once.
+        let join_frame = SignalMsg::Join {
+            api_key: Some("svc-key".into()),
+            token: None,
+            origin: "svc.example".into(),
+            video: "v".into(),
+            manifest_hash: "m0".into(),
+            sdp: template_sdp(cfg.seed),
+        }
+        .encode();
+        let overload_deny = SignalMsg::JoinDenied {
+            reason: "overloaded".into(),
+        }
+        .encode();
+
+        let inbox = BoundedInboxes::new(cfg.inbox);
+        let mut arrivals = PoissonArrivals::new(cfg.plan.clone(), cfg.seed);
+        let mut greeters = (cfg.greeter_per_sec > 0.0).then(|| {
+            PoissonArrivals::new(
+                RatePlan::Steady {
+                    per_sec: cfg.greeter_per_sec,
+                },
+                cfg.seed ^ 0x9e37_79b9,
+            )
+        });
+        let rng = SimRng::seed(cfg.seed ^ 0x5e71_1ce5);
+
+        let report = ServiceReport {
+            arrivals: 0,
+            joins_ok: 0,
+            joins_denied: 0,
+            first_segments: 0,
+            first_segments_measured: 0,
+            joins_ok_measured: 0,
+            leaves: 0,
+            turned_away: 0,
+            served_frames: 0,
+            batch_hits: 0,
+            jtfs: LatencyHistogram::new(),
+            rtt: LatencyHistogram::new(),
+            shed: ShedStats::default(),
+            peak_clients: 0,
+            capture_dropped: 0,
+            capture_filtered: 0,
+            capture_kept: 0,
+            cdn_requests: 0,
+            cdn_egress_bytes: 0,
+            net_events: 0,
+        };
+
+        let run_end = SimTime::ZERO + cfg.run_for;
+        let hard_end = run_end + cfg.mean_session * 2 + Duration::from_secs(5);
+        let ramp_end = SimTime::ZERO + cfg.ramp;
+
+        // Prime the self-rescheduling timers.
+        net.set_timer(server, cfg.tick, TOK_TICK);
+        let first = arrivals.next_arrival();
+        if first <= run_end {
+            net.set_timer(server, first.saturating_since(SimTime::ZERO), TOK_ARRIVAL);
+        }
+        if let Some(g) = greeters.as_mut() {
+            let at = g.next_arrival();
+            if at <= run_end {
+                net.set_timer(server, at.saturating_since(SimTime::ZERO), TOK_GREETER);
+            }
+        }
+
+        ServiceWorld {
+            cfg: cfg.clone(),
+            net,
+            server,
+            cdn_node,
+            attackers,
+            server_addr,
+            cdn_addr,
+            first_client,
+            sig,
+            cdn,
+            seg_id,
+            join_frame,
+            overload_deny,
+            leave_frame: SignalMsg::Leave.encode(),
+            stats_frame: SignalMsg::StatsReport {
+                p2p_up_bytes: 1_000,
+                p2p_down_bytes: 3_000,
+            }
+            .encode(),
+            greeter_frame: Bytes::from_static(b"HELLO-PDN-GREETER/1.0 who-has-segments?"),
+            inbox,
+            batch: AdmissionBatch::new(),
+            arrivals,
+            greeters,
+            rng,
+            clients: Vec::new(),
+            free: Vec::new(),
+            im_seq: 0,
+            report,
+            run_end,
+            hard_end,
+            ramp_end,
+            tick_joins: Vec::new(),
+            tick_other: Vec::new(),
+            tick_out: Vec::new(),
+            tracker_dead: false,
+            dead_dropped: 0,
+            pending_handoffs: Vec::new(),
+            handoffs_done: Vec::new(),
+            handoffs_denied: 0,
+        }
+    }
+
+    /// Pumps the network to completion and returns the report.
+    pub fn run(mut self) -> ServiceReport {
+        while let Some((now, ev)) = self.net.step() {
+            if now > self.hard_end {
+                break;
+            }
+            self.dispatch(now, ev);
+        }
+        self.finalize();
+        self.report
+    }
+
+    /// Routes one event to its handler. The federation shard calls this
+    /// for everything it does not intercept.
+    pub(crate) fn dispatch(&mut self, now: SimTime, ev: Event) {
+        self.report.net_events += 1;
+        match ev {
+            Event::Timer { node, token } if node == self.server => match token {
+                TOK_TICK => self.on_tick(now),
+                TOK_ARRIVAL => {
+                    self.report.arrivals += 1;
+                    self.start_session(now, None);
+                    self.schedule_next_arrival(now);
+                }
+                TOK_GREETER => self.on_greeter(now),
+                _ => {}
+            },
+            Event::Timer { node, token } => self.on_client_timer(node, token),
+            Event::Packet { to, dgram } if to == self.server => self.on_server_packet(now, dgram),
+            Event::Packet { to, dgram } if to == self.cdn_node => {
+                if let Some(seg) = self.cdn.serve_segment(&self.seg_id) {
+                    self.net.send(
+                        self.cdn_node,
+                        80,
+                        dgram.src,
+                        Transport::Tcp,
+                        seg.data.clone(),
+                    );
+                }
+            }
+            Event::Packet { to, dgram } => self.on_client_packet(now, to, dgram),
+            Event::Burst { .. } => {}
+        }
+    }
+
+    /// Folds end-of-run state (inbox, batch, capture, CDN bill) into the
+    /// report. Idempotent enough for exactly-once use at run end.
+    pub(crate) fn finalize(&mut self) {
+        self.report.shed = self.inbox.stats();
+        self.report.batch_hits = self.batch.hits();
+        self.report.peak_clients = self.clients.len() as u64;
+        self.report.capture_dropped = self.net.capture_dropped();
+        self.report.capture_filtered = self.net.capture_filtered();
+        self.report.capture_kept = self.net.capture().len() as u64;
+        let bill = self.cdn.bill();
+        self.report.cdn_requests = bill.requests;
+        self.report.cdn_egress_bytes = bill.egress_bytes;
+    }
+
+    pub(crate) fn on_tick(&mut self, now: SimTime) {
+        if self.tracker_dead {
+            return; // dead tracker: no drain, no reschedule
+        }
+        self.tick_joins.clear();
+        self.tick_other.clear();
+        self.tick_out.clear();
+        self.inbox.drain_tick(
+            self.cfg.tick_budget,
+            &mut self.tick_joins,
+            &mut self.tick_other,
+        );
+        self.report.served_frames += (self.tick_joins.len() + self.tick_other.len()) as u64;
+        self.sig.handle_frames_batch_into(
+            &self.tick_joins,
+            now,
+            self.net.geoip(),
+            &mut self.batch,
+            &mut self.tick_out,
+        );
+        for (from, frame) in &self.tick_other {
+            self.sig
+                .handle_frame_into(*from, frame, now, self.net.geoip(), &mut self.tick_out);
+        }
+        for (dst, frame) in self.tick_out.drain(..) {
+            self.net.send(self.server, 443, dst, Transport::Tcp, frame);
+        }
+        if now < self.hard_end {
+            self.net.set_timer(self.server, self.cfg.tick, TOK_TICK);
+        }
+    }
+
+    /// Reschedules the arrival timer for the next plan arrival (if it
+    /// lands before `run_end`).
+    pub(crate) fn schedule_next_arrival(&mut self, now: SimTime) {
+        let at = self.arrivals.next_arrival();
+        if at <= self.run_end {
+            self.net
+                .set_timer(self.server, at.saturating_since(now), TOK_ARRIVAL);
+        }
+    }
+
+    /// Starts one viewer session: allocate/recycle a client slot and send
+    /// the join. `carried` marks a failover handoff re-join. Returns
+    /// `false` when the pool is exhausted (counted as turned away).
+    pub(crate) fn start_session(&mut self, now: SimTime, carried: Option<CarriedSession>) -> bool {
+        let slot = self.free.pop().or_else(|| {
+            (self.clients.len() < self.cfg.max_clients).then(|| {
+                self.clients.push(IDLE_CLIENT);
+                let idx = self.clients.len() as u32 - 1;
+                let geo = client_geo(idx);
+                let node = self.net.add_public_host(geo, LinkSpec::residential());
+                debug_assert_eq!(node.0, self.first_client + idx);
+                idx
+            })
+        });
+        match slot {
+            None => {
+                self.report.turned_away += 1;
+                false
+            }
+            Some(idx) => {
+                let c = &mut self.clients[idx as usize];
+                c.session += 1;
+                c.state = ClientState::Joining { sent: now };
+                c.peer_id = 0;
+                c.fixed_len = carried.and_then(|h| h.remaining);
+                c.carried = carried;
+                let node = NodeId(self.first_client + idx);
+                self.net.send(
+                    node,
+                    CLIENT_PORT,
+                    self.server_addr,
+                    Transport::Tcp,
+                    self.join_frame.clone(),
+                );
+                true
+            }
+        }
+    }
+
+    pub(crate) fn on_greeter(&mut self, now: SimTime) {
+        if let Some(g) = self.greeters.as_mut() {
+            let attacker = self.attackers[(g.now().as_secs_f64() * 1e3) as usize % ATTACKERS];
+            self.net.send(
+                attacker,
+                4444,
+                self.server_addr,
+                Transport::Tcp,
+                self.greeter_frame.clone(),
+            );
+            let at = g.next_arrival();
+            if at <= self.run_end {
+                self.net
+                    .set_timer(self.server, at.saturating_since(now), TOK_GREETER);
+            }
+        }
+    }
+
+    fn on_client_timer(&mut self, node: NodeId, token: u64) {
+        // Client timers; high bits carry the session generation.
+        let idx = (node.0 - self.first_client) as usize;
+        let (kind, session) = (token & 0b11, token >> 2);
+        let c = &mut self.clients[idx];
+        if c.session != session || c.state != ClientState::Watching {
+            return; // stale timer from a recycled session
+        }
+        match kind {
+            TOK_SESSION_END => {
+                if !self.tracker_dead {
+                    self.net.send(
+                        node,
+                        CLIENT_PORT,
+                        self.server_addr,
+                        Transport::Tcp,
+                        self.leave_frame.clone(),
+                    );
+                }
+                self.report.leaves += 1;
+                c.state = ClientState::Idle;
+                self.free.push(idx as u32);
+            }
+            TOK_STATS => {
+                if !self.tracker_dead {
+                    self.net.send(
+                        node,
+                        CLIENT_PORT,
+                        self.server_addr,
+                        Transport::Tcp,
+                        self.stats_frame.clone(),
+                    );
+                }
+                self.net
+                    .set_timer(node, self.cfg.stats_every, (session << 2) | TOK_STATS);
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn on_server_packet(&mut self, now: SimTime, dgram: pdn_simnet::Datagram) {
+        if self.tracker_dead {
+            self.dead_dropped += 1;
+            return;
+        }
+        match self.inbox.offer(dgram.src, dgram.payload.clone()) {
+            Admit::Enqueued | Admit::Backpressure | Admit::Shed => {}
+            Admit::DenyJoin => {
+                if is_leave_frame(&dgram.payload) {
+                    // Leaves are O(1); apply inline rather than leak the
+                    // peer.
+                    self.sig.remove_peer_by_addr(dgram.src, now);
+                } else {
+                    self.net.send(
+                        self.server,
+                        443,
+                        dgram.src,
+                        Transport::Tcp,
+                        self.overload_deny.clone(),
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_client_packet(&mut self, now: SimTime, to: NodeId, dgram: pdn_simnet::Datagram) {
+        if to.0 < self.first_client {
+            return; // attacker nodes ignore replies
+        }
+        let idx = (to.0 - self.first_client) as usize;
+        let c = &mut self.clients[idx];
+        match c.state {
+            ClientState::Joining { sent } => match SignalMsg::decode(&dgram.payload) {
+                Some(SignalMsg::JoinOk { peer_id, .. }) => {
+                    self.report.joins_ok += 1;
+                    if now > self.ramp_end && now <= self.run_end {
+                        self.report.joins_ok_measured += 1;
+                    }
+                    self.report
+                        .rtt
+                        .record(now.saturating_since(sent).as_nanos() as u64);
+                    c.peer_id = peer_id;
+                    if let Some(h) = c.carried.take() {
+                        self.handoffs_done.push((h.old_global, peer_id, h.t0, now));
+                    }
+                    c.state = ClientState::Fetching { sent };
+                    self.net.send(
+                        to,
+                        CLIENT_PORT,
+                        self.cdn_addr,
+                        Transport::Tcp,
+                        Bytes::from_static(b"GET /v/0/0"),
+                    );
+                }
+                Some(SignalMsg::JoinDenied { .. }) => {
+                    self.report.joins_denied += 1;
+                    if c.carried.take().is_some() {
+                        self.handoffs_denied += 1;
+                    }
+                    c.state = ClientState::Idle;
+                    self.free.push(idx as u32);
+                }
+                _ => {} // PeerJoined / SimBroadcast chatter
+            },
+            ClientState::Fetching { sent } => {
+                if dgram.src == self.cdn_addr {
+                    self.report.first_segments += 1;
+                    if now > self.ramp_end && now <= self.run_end {
+                        self.report.first_segments_measured += 1;
+                    }
+                    self.report
+                        .jtfs
+                        .record(now.saturating_since(sent).as_nanos() as u64);
+                    let session = c.session;
+                    let len = match c.fixed_len.take() {
+                        Some(len) => len,
+                        None => self.cfg.mean_session.mul_f64(self.rng.range(0.5..1.5)),
+                    };
+                    if self.tracker_dead {
+                        // The fetch outlived the tracker: the session
+                        // must re-home instead of watching against a
+                        // dead rendezvous.
+                        let peer_id = c.peer_id;
+                        c.state = ClientState::Idle;
+                        self.free.push(idx as u32);
+                        self.pending_handoffs.push(CarriedSession {
+                            old_global: peer_id,
+                            t0: now,
+                            remaining: Some(len),
+                        });
+                        return;
+                    }
+                    c.state = ClientState::Watching;
+                    self.net
+                        .set_timer(to, len, (session << 2) | TOK_SESSION_END);
+                    self.net
+                        .set_timer(to, self.cfg.stats_every, (session << 2) | TOK_STATS);
+                    // One integrity report per session (distinct seq:
+                    // exercises the class without quorums).
+                    self.im_seq += 1;
+                    self.net.send(
+                        to,
+                        CLIENT_PORT,
+                        self.server_addr,
+                        Transport::Tcp,
+                        SignalMsg::ImReport {
+                            video: "v".into(),
+                            rendition: 0,
+                            seq: self.im_seq,
+                            im: IM_HEX.into(),
+                        }
+                        .encode(),
+                    );
+                }
+            }
+            ClientState::Watching | ClientState::Idle => {}
+        }
+    }
+
+    /// Marks the tracker dead (failover instant) and extracts every live
+    /// session for migration: joining and watching sessions hand off
+    /// immediately; fetching sessions hand off when their CDN reply lands
+    /// (see [`ServiceWorld::on_client_packet`]). Returns the extracted
+    /// sessions; the caller (the federation shard) routes them.
+    pub(crate) fn fail_tracker(&mut self, now: SimTime) -> Vec<CarriedSession> {
+        self.tracker_dead = true;
+        let mut migrated = Vec::new();
+        for idx in 0..self.clients.len() {
+            let c = &mut self.clients[idx];
+            match c.state {
+                ClientState::Joining { .. } => {
+                    // The join is sitting in (or flying toward) a dead
+                    // inbox; it will never be answered. Re-home with no
+                    // peer id and no drawn length.
+                    c.state = ClientState::Idle;
+                    c.carried = None;
+                    self.free.push(idx as u32);
+                    migrated.push(CarriedSession {
+                        old_global: 0,
+                        t0: now,
+                        remaining: None,
+                    });
+                }
+                ClientState::Watching => {
+                    // Remaining watch time is re-drawn at the target:
+                    // session-end timers are not introspectable here.
+                    c.state = ClientState::Idle;
+                    self.free.push(idx as u32);
+                    migrated.push(CarriedSession {
+                        old_global: c.peer_id,
+                        t0: now,
+                        remaining: None,
+                    });
+                }
+                ClientState::Fetching { .. } | ClientState::Idle => {}
+            }
+        }
+        migrated
+    }
 }
 
 /// Runs one open-loop service scenario to completion. See the
 /// [module docs](self).
 pub fn run_service(cfg: &ServiceConfig) -> ServiceReport {
-    let mut net = Network::new(cfg.seed);
-    net.set_capture(true);
-    net.set_capture_limit(cfg.capture_limit);
-
-    let server = net.add_public_host(GeoInfo::new("US", 1, "AS-PDN"), LinkSpec::datacenter());
-    // One fat node stands in for the CDN edge fleet.
-    let cdn_link = LinkSpec {
-        latency: Duration::from_millis(2),
-        jitter: Duration::from_millis(1),
-        up_bps: 100_000_000_000,
-        down_bps: 100_000_000_000,
-        loss: 0.0,
-    };
-    let cdn_node = net.add_public_host(GeoInfo::new("US", 1, "AS-CDN"), cdn_link);
-    let mut attackers = Vec::with_capacity(ATTACKERS);
-    for i in 0..ATTACKERS {
-        attackers.push(net.add_public_host(
-            GeoInfo::new("RU", 1 + i as u16, "AS-GREET"),
-            LinkSpec::residential(),
-        ));
-    }
-    let server_addr = Addr::from_ip(net.ip(server), 443);
-    let cdn_addr = Addr::from_ip(net.ip(cdn_node), 80);
-    // Client node ids start right after the fixed nodes.
-    let first_client = 2 + ATTACKERS as u32;
-
-    let mut profile = ProviderProfile::peer5();
-    profile.segment_integrity_check = true;
-    let mut sig = SignalingServer::new(profile, cfg.seed);
-    sig.accounts_mut().register(CustomerAccount::new(
-        "svc",
-        "svc-key",
-        ["svc.example".to_string()],
-    ));
-
-    let mut origin = OriginServer::new();
-    // 1.6 Mbps × 500 ms ≈ 100 KB first segment.
-    origin.publish(VideoSource::vod(
-        "v",
-        vec![1_600_000],
-        Duration::from_millis(500),
-        16,
-    ));
-    let mut cdn = Cdn::new(origin, 64 << 20);
-    let seg_id = SegmentId {
-        video: VideoId::new("v"),
-        rendition: 0,
-        seq: 0,
-    };
-
-    // Every arrival sends the same join (clients are interchangeable;
-    // identity is the transport address), so the frame encodes once.
-    let join_frame = SignalMsg::Join {
-        api_key: Some("svc-key".into()),
-        token: None,
-        origin: "svc.example".into(),
-        video: "v".into(),
-        manifest_hash: "m0".into(),
-        sdp: template_sdp(cfg.seed),
-    }
-    .encode();
-    let overload_deny = SignalMsg::JoinDenied {
-        reason: "overloaded".into(),
-    }
-    .encode();
-    let leave_frame = SignalMsg::Leave.encode();
-    let stats_frame = SignalMsg::StatsReport {
-        p2p_up_bytes: 1_000,
-        p2p_down_bytes: 3_000,
-    }
-    .encode();
-    let greeter_frame = Bytes::from_static(b"HELLO-PDN-GREETER/1.0 who-has-segments?");
-
-    let mut inbox = BoundedInboxes::new(cfg.inbox);
-    let mut batch = AdmissionBatch::new();
-    let mut arrivals = PoissonArrivals::new(cfg.plan.clone(), cfg.seed);
-    let mut greeters = (cfg.greeter_per_sec > 0.0).then(|| {
-        PoissonArrivals::new(
-            RatePlan::Steady {
-                per_sec: cfg.greeter_per_sec,
-            },
-            cfg.seed ^ 0x9e37_79b9,
-        )
-    });
-    let mut rng = SimRng::seed(cfg.seed ^ 0x5e71_1ce5);
-
-    let mut clients: Vec<Client> = Vec::new();
-    let mut free: Vec<u32> = Vec::new();
-    let mut im_seq: u64 = 0;
-
-    let mut report = ServiceReport {
-        arrivals: 0,
-        joins_ok: 0,
-        joins_denied: 0,
-        first_segments: 0,
-        leaves: 0,
-        turned_away: 0,
-        served_frames: 0,
-        batch_hits: 0,
-        jtfs: LatencyHistogram::new(),
-        rtt: LatencyHistogram::new(),
-        shed: ShedStats::default(),
-        peak_clients: 0,
-        capture_dropped: 0,
-        capture_filtered: 0,
-        cdn_requests: 0,
-        cdn_egress_bytes: 0,
-        net_events: 0,
-    };
-
-    let run_end = SimTime::ZERO + cfg.run_for;
-    let hard_end = run_end + cfg.mean_session * 2 + Duration::from_secs(5);
-
-    // Prime the self-rescheduling timers.
-    net.set_timer(server, cfg.tick, TOK_TICK);
-    let first = arrivals.next_arrival();
-    if first <= run_end {
-        net.set_timer(server, first.saturating_since(SimTime::ZERO), TOK_ARRIVAL);
-    }
-    if let Some(g) = greeters.as_mut() {
-        let at = g.next_arrival();
-        if at <= run_end {
-            net.set_timer(server, at.saturating_since(SimTime::ZERO), TOK_GREETER);
-        }
-    }
-
-    // Reused tick scratch.
-    let mut tick_joins: Vec<(Addr, Bytes)> = Vec::new();
-    let mut tick_other: Vec<(Addr, Bytes)> = Vec::new();
-    let mut tick_out: Vec<(Addr, Bytes)> = Vec::new();
-
-    while let Some((now, ev)) = net.step() {
-        if now > hard_end {
-            break;
-        }
-        report.net_events += 1;
-        match ev {
-            Event::Timer { node, token } if node == server => match token {
-                TOK_TICK => {
-                    tick_joins.clear();
-                    tick_other.clear();
-                    tick_out.clear();
-                    inbox.drain_tick(cfg.tick_budget, &mut tick_joins, &mut tick_other);
-                    report.served_frames += (tick_joins.len() + tick_other.len()) as u64;
-                    sig.handle_frames_batch_into(
-                        &tick_joins,
-                        now,
-                        net.geoip(),
-                        &mut batch,
-                        &mut tick_out,
-                    );
-                    for (from, frame) in &tick_other {
-                        sig.handle_frame_into(*from, frame, now, net.geoip(), &mut tick_out);
-                    }
-                    for (dst, frame) in tick_out.drain(..) {
-                        net.send(server, 443, dst, Transport::Tcp, frame);
-                    }
-                    if now < hard_end {
-                        net.set_timer(server, cfg.tick, TOK_TICK);
-                    }
-                }
-                TOK_ARRIVAL => {
-                    report.arrivals += 1;
-                    let slot = free.pop().or_else(|| {
-                        (clients.len() < cfg.max_clients).then(|| {
-                            clients.push(Client {
-                                state: ClientState::Idle,
-                                session: 0,
-                            });
-                            let idx = clients.len() as u32 - 1;
-                            let geo = client_geo(idx);
-                            let node = net.add_public_host(geo, LinkSpec::residential());
-                            debug_assert_eq!(node.0, first_client + idx);
-                            idx
-                        })
-                    });
-                    match slot {
-                        None => report.turned_away += 1,
-                        Some(idx) => {
-                            let c = &mut clients[idx as usize];
-                            c.session += 1;
-                            c.state = ClientState::Joining { sent: now };
-                            let node = NodeId(first_client + idx);
-                            net.send(
-                                node,
-                                CLIENT_PORT,
-                                server_addr,
-                                Transport::Tcp,
-                                join_frame.clone(),
-                            );
-                        }
-                    }
-                    let at = arrivals.next_arrival();
-                    if at <= run_end {
-                        net.set_timer(server, at.saturating_since(now), TOK_ARRIVAL);
-                    }
-                }
-                TOK_GREETER => {
-                    if let Some(g) = greeters.as_mut() {
-                        let attacker =
-                            attackers[(g.now().as_secs_f64() * 1e3) as usize % ATTACKERS];
-                        net.send(
-                            attacker,
-                            4444,
-                            server_addr,
-                            Transport::Tcp,
-                            greeter_frame.clone(),
-                        );
-                        let at = g.next_arrival();
-                        if at <= run_end {
-                            net.set_timer(server, at.saturating_since(now), TOK_GREETER);
-                        }
-                    }
-                }
-                _ => {}
-            },
-            Event::Timer { node, token } => {
-                // Client timers; high bits carry the session generation.
-                let idx = (node.0 - first_client) as usize;
-                let (kind, session) = (token & 0b11, token >> 2);
-                let c = &mut clients[idx];
-                if c.session != session || c.state != ClientState::Watching {
-                    continue; // stale timer from a recycled session
-                }
-                match kind {
-                    TOK_SESSION_END => {
-                        net.send(
-                            node,
-                            CLIENT_PORT,
-                            server_addr,
-                            Transport::Tcp,
-                            leave_frame.clone(),
-                        );
-                        report.leaves += 1;
-                        c.state = ClientState::Idle;
-                        free.push(idx as u32);
-                    }
-                    TOK_STATS => {
-                        net.send(
-                            node,
-                            CLIENT_PORT,
-                            server_addr,
-                            Transport::Tcp,
-                            stats_frame.clone(),
-                        );
-                        net.set_timer(node, cfg.stats_every, (session << 2) | TOK_STATS);
-                    }
-                    _ => {}
-                }
-            }
-            Event::Packet { to, dgram } if to == server => {
-                match inbox.offer(dgram.src, dgram.payload.clone()) {
-                    Admit::Enqueued | Admit::Backpressure | Admit::Shed => {}
-                    Admit::DenyJoin => {
-                        if is_leave_frame(&dgram.payload) {
-                            // Leaves are O(1); apply inline rather than
-                            // leak the peer.
-                            sig.remove_peer_by_addr(dgram.src, now);
-                        } else {
-                            net.send(
-                                server,
-                                443,
-                                dgram.src,
-                                Transport::Tcp,
-                                overload_deny.clone(),
-                            );
-                        }
-                    }
-                }
-            }
-            Event::Packet { to, dgram } if to == cdn_node => {
-                if let Some(seg) = cdn.serve_segment(&seg_id) {
-                    net.send(cdn_node, 80, dgram.src, Transport::Tcp, seg.data.clone());
-                }
-            }
-            Event::Packet { to, dgram } => {
-                if to.0 < first_client {
-                    continue; // attacker nodes ignore replies
-                }
-                let idx = (to.0 - first_client) as usize;
-                let c = &mut clients[idx];
-                match c.state {
-                    ClientState::Joining { sent } => match SignalMsg::decode(&dgram.payload) {
-                        Some(SignalMsg::JoinOk { .. }) => {
-                            report.joins_ok += 1;
-                            report
-                                .rtt
-                                .record(now.saturating_since(sent).as_nanos() as u64);
-                            c.state = ClientState::Fetching { sent };
-                            net.send(
-                                to,
-                                CLIENT_PORT,
-                                cdn_addr,
-                                Transport::Tcp,
-                                Bytes::from_static(b"GET /v/0/0"),
-                            );
-                        }
-                        Some(SignalMsg::JoinDenied { .. }) => {
-                            report.joins_denied += 1;
-                            c.state = ClientState::Idle;
-                            free.push(idx as u32);
-                        }
-                        _ => {} // PeerJoined / SimBroadcast chatter
-                    },
-                    ClientState::Fetching { sent } => {
-                        if dgram.src == cdn_addr {
-                            report.first_segments += 1;
-                            report
-                                .jtfs
-                                .record(now.saturating_since(sent).as_nanos() as u64);
-                            c.state = ClientState::Watching;
-                            let session = c.session;
-                            let len = cfg.mean_session.mul_f64(rng.range(0.5..1.5));
-                            net.set_timer(to, len, (session << 2) | TOK_SESSION_END);
-                            net.set_timer(to, cfg.stats_every, (session << 2) | TOK_STATS);
-                            // One integrity report per session (distinct
-                            // seq: exercises the class without quorums).
-                            im_seq += 1;
-                            net.send(
-                                to,
-                                CLIENT_PORT,
-                                server_addr,
-                                Transport::Tcp,
-                                SignalMsg::ImReport {
-                                    video: "v".into(),
-                                    rendition: 0,
-                                    seq: im_seq,
-                                    im: IM_HEX.into(),
-                                }
-                                .encode(),
-                            );
-                        }
-                    }
-                    ClientState::Watching | ClientState::Idle => {}
-                }
-            }
-            Event::Burst { .. } => {}
-        }
-    }
-
-    report.shed = inbox.stats();
-    report.batch_hits = batch.hits();
-    report.peak_clients = clients.len() as u64;
-    report.capture_dropped = net.capture_dropped();
-    report.capture_filtered = net.capture_filtered();
-    let bill = cdn.bill();
-    report.cdn_requests = bill.requests;
-    report.cdn_egress_bytes = bill.egress_bytes;
-    report
+    ServiceWorld::new(cfg).run()
 }
 
 /// A fixed honest-looking IM hex string (64 nibbles); sessions report

@@ -161,6 +161,19 @@ pub struct ShedStats {
 }
 
 impl ShedStats {
+    /// Merges `other` into `self`: counters add, high-water marks take
+    /// the per-shard maximum (a federation-wide "peak depth" across
+    /// shared-nothing inboxes is the worst single inbox, not a sum).
+    pub fn merge(&mut self, other: &ShedStats) {
+        self.shed_greeter += other.shed_greeter;
+        self.shed_gossip += other.shed_gossip;
+        self.shed_integrity += other.shed_integrity;
+        self.denied_joins += other.denied_joins;
+        self.backpressured += other.backpressured;
+        self.peak_depth = self.peak_depth.max(other.peak_depth);
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+    }
+
     /// Total frames refused for any reason.
     pub fn total_refused(&self) -> u64 {
         self.shed_greeter

@@ -17,8 +17,10 @@
 //! then holds goodput at 2× and 10× overload — the `BENCH_service.json`
 //! numbers and the `scripts/check.sh` SLO gate.
 
+mod federation;
 mod harness;
 mod inbox;
 
-pub use harness::{run_service, ServiceConfig, ServiceReport};
+pub use federation::{run_federation, FederationConfig, FederationReport, HandoffRecord};
+pub use harness::{run_service, CaptureScope, ServiceConfig, ServiceReport, ServiceWorld};
 pub use inbox::{is_leave_frame, Admit, BoundedInboxes, InboxConfig, MsgClass, ShedStats};

@@ -63,11 +63,18 @@ pub enum MatchingPolicy {
 
 /// A member of a swarm as the server sees it. Country/ISP are interned ids
 /// so the matching policy compares integers.
+///
+/// The SDP is stored as its *encoded wire fragment* ([`bytes::Bytes`]), not
+/// a parsed [`pdn_webrtc::SessionDescription`]: a binary join interns a
+/// zero-copy slice of the incoming frame, and `JoinOk`/`PeerJoined` replies
+/// splice the fragment straight into the outgoing frame
+/// ([`crate::wire::encode_join_ok_spliced`]) — the per-neighbor-per-join
+/// `SessionDescription` clone the old assembly paid is gone entirely.
 #[derive(Debug, Clone)]
 struct Member {
     peer_id: u64,
     addr: Addr,
-    sdp: pdn_webrtc::SessionDescription,
+    sdp_wire: bytes::Bytes,
     country: Option<u32>,
     isp: Option<u32>,
 }
@@ -145,8 +152,24 @@ pub struct AdmissionBatch {
     /// successes (token schemes mutate validator state, so they always
     /// take the full path).
     auth_memo: Option<(String, String, String)>,
+    /// Rolling neighbor-candidate window for the memoized swarm: one
+    /// candidate pass per `(swarm, tick)` feeds every join in the burst.
+    /// Only valid under [`MatchingPolicy::Global`] (geo policies make the
+    /// candidate set joiner-dependent) and invalidated by any non-join
+    /// frame in the burst (a leave or blacklist could mutate membership).
+    neighbor_memo: Option<NeighborMemo>,
     /// Memo hits (observability for the service harness).
     hits: u64,
+}
+
+/// See [`AdmissionBatch::neighbor_memo`]. Candidates are youngest-first —
+/// exactly the order the per-join slab walk produces — so serving a join
+/// from the memo, then pushing the joiner on the front, reproduces the
+/// sequential walk byte-for-byte.
+#[derive(Debug)]
+struct NeighborMemo {
+    slot: u32,
+    cands: VecDeque<(u64, Addr, bytes::Bytes)>,
 }
 
 impl AdmissionBatch {
@@ -159,6 +182,7 @@ impl AdmissionBatch {
     pub fn clear(&mut self) {
         self.swarm_memo = None;
         self.auth_memo = None;
+        self.neighbor_memo = None;
     }
 
     /// Memo hits since construction (across `clear` calls).
@@ -221,6 +245,13 @@ pub struct SignalingServer {
     /// Reused reply buffer for the frame path (the per-agent scratch
     /// `BytesMut` pattern): no per-frame `Vec<(Addr, SignalMsg)>` alloc.
     reply_scratch: Vec<(Addr, SignalMsg)>,
+    /// Reused neighbor-pick buffer for the zero-copy join path.
+    neighbor_scratch: Vec<(u64, Addr, bytes::Bytes)>,
+    /// Whether binary join frames take the zero-copy borrowed path
+    /// (`JoinView` + spliced replies). Disabled only by the A/B bench to
+    /// measure the win over the owned `SignalMsg` assembly; replies and
+    /// state are byte-identical either way.
+    join_fast_path: bool,
 }
 
 impl std::fmt::Debug for SignalingServer {
@@ -269,7 +300,16 @@ impl SignalingServer {
             defense_stats: DefenseStats::default(),
             rng: SimRng::seed(seed ^ 0x51_6e_a1),
             reply_scratch: Vec::new(),
+            neighbor_scratch: Vec::new(),
+            join_fast_path: true,
         }
+    }
+
+    /// Enables/disables the zero-copy borrowed join path (default on).
+    /// Only the A/B bench turns it off, to measure the spliced assembly
+    /// against the owned `SignalMsg` assembly it replaced.
+    pub fn set_join_fast_path(&mut self, enabled: bool) {
+        self.join_fast_path = enabled;
     }
 
     /// The provider profile this server runs.
@@ -393,6 +433,12 @@ impl SignalingServer {
         geoip: &GeoIpService,
         out: &mut Vec<(Addr, bytes::Bytes)>,
     ) {
+        if self.join_fast_path && crate::wire::wire_mode() == crate::wire::WireMode::Binary {
+            if let Some(view) = crate::wire::decode_join_view(frame) {
+                self.on_join_frame(from, &view, frame, now, geoip, None, out);
+                return;
+            }
+        }
         let Some(msg) = SignalMsg::decode(frame) else {
             return;
         };
@@ -431,8 +477,19 @@ impl SignalingServer {
         out: &mut Vec<(Addr, bytes::Bytes)>,
     ) {
         batch.clear();
+        let fast = self.join_fast_path && crate::wire::wire_mode() == crate::wire::WireMode::Binary;
         let mut replies = std::mem::take(&mut self.reply_scratch);
         for (from, frame) in frames {
+            if fast {
+                if let Some(view) = crate::wire::decode_join_view(frame) {
+                    self.on_join_frame(*from, &view, frame, now, geoip, Some(batch), out);
+                    continue;
+                }
+            }
+            // Anything that is not a fast-path join may mutate membership
+            // (leave, blacklist via IM report), so the rolling neighbor
+            // window cannot survive it.
+            batch.neighbor_memo = None;
             let Some(msg) = SignalMsg::decode(frame) else {
                 continue;
             };
@@ -579,8 +636,8 @@ impl SignalingServer {
         }
 
         let customer_id = match self.authenticate_memo(
-            &api_key,
-            &token,
+            api_key.as_deref(),
+            token.as_deref(),
             &origin,
             &video,
             now,
@@ -614,7 +671,9 @@ impl SignalingServer {
 
         // Candidate neighbors under the matching policy: walking members
         // youngest-first with an early cap is exactly the old
-        // filter → reverse → truncate, without the intermediate Vec.
+        // filter → reverse → truncate, without the intermediate Vec. The
+        // compat path materialises each neighbor's SDP from its interned
+        // wire fragment (the frame path splices the fragment instead).
         let members = &self.swarms[slot as usize].members;
         let mut neighbors: Vec<(u64, pdn_webrtc::SessionDescription)> =
             Vec::with_capacity(self.max_neighbors.min(members.len()));
@@ -634,32 +693,22 @@ impl SignalingServer {
             if !matches {
                 continue;
             }
-            neighbors.push((m.peer_id, m.sdp.clone()));
+            let sdp = crate::wire::decode_sdp(&m.sdp_wire).expect("interned SDP decodes");
+            neighbors.push((m.peer_id, sdp));
             notify.push(m.addr);
         }
 
-        let swarm = &mut self.swarms[slot as usize];
-        let swarm_pos = swarm.members.len() as u32;
-        swarm.members.push(Some(Member {
+        let sdp_wire = crate::wire::encode_sdp(&sdp);
+        self.insert_member(
+            from,
             peer_id,
-            addr: from,
-            sdp: sdp.clone(),
+            sdp_wire,
             country,
             isp,
-        }));
-        swarm.live += 1;
-        let customer = self.customers.intern(&customer_id);
-        debug_assert_eq!(self.peers.len() as u64, peer_id - 1);
-        self.peers.push(Some(PeerSlot {
-            addr: from,
-            customer,
-            last_seen: now,
-            swarm: slot,
-            swarm_pos,
-        }));
-        self.live_peers += 1;
-        self.addr_index.insert(from, peer_id);
-        self.meter_mut(customer).add_join();
+            slot,
+            &customer_id,
+            now,
+        );
 
         out.push((from, SignalMsg::JoinOk { peer_id, neighbors }));
         for addr in notify {
@@ -671,6 +720,196 @@ impl SignalingServer {
                 },
             ));
         }
+    }
+
+    /// The zero-copy borrowed join path for binary frames.
+    ///
+    /// Admission semantics are identical to [`SignalingServer::on_join`]
+    /// (the `fast_path_matches_legacy_assembly` test pins reply bytes and
+    /// state), but nothing is materialised: credentials stay `&str` views
+    /// into the frame, the joiner's SDP is interned as a zero-copy slice of
+    /// the datagram, and replies are assembled by splicing the stored SDP
+    /// fragments of the selected neighbors straight into the output frame.
+    /// With a batch, neighbor selection additionally rides the rolling
+    /// [`NeighborMemo`] — one slab walk per `(swarm, tick)` instead of one
+    /// per join.
+    #[allow(clippy::too_many_arguments)]
+    fn on_join_frame(
+        &mut self,
+        from: Addr,
+        view: &crate::wire::JoinView<'_>,
+        frame: &bytes::Bytes,
+        now: SimTime,
+        geoip: &GeoIpService,
+        mut batch: Option<&mut AdmissionBatch>,
+        out: &mut Vec<(Addr, bytes::Bytes)>,
+    ) {
+        let deny = |reason: String| SignalMsg::JoinDenied { reason }.encode();
+        if self.blacklist_addrs.contains(&from) {
+            out.push((from, deny("peer is blacklisted".into())));
+            return;
+        }
+        if let Some(reg) = &self.registered_sources {
+            if !reg.contains(view.video) {
+                out.push((from, deny("video source not registered".into())));
+                return;
+            }
+        }
+        let customer_id = match self.authenticate_memo(
+            view.api_key,
+            view.token,
+            view.origin,
+            view.video,
+            now,
+            batch.as_deref_mut(),
+        ) {
+            Ok(id) => id,
+            Err(e) => {
+                out.push((from, deny(e.to_string())));
+                return;
+            }
+        };
+
+        let peer_id = self.next_peer_id;
+        self.next_peer_id += 1;
+
+        let geo = geoip.lookup(from.ip);
+        let (country, isp) = match geo {
+            Some(g) => (
+                Some(self.geos.intern(&g.country)),
+                Some(self.geos.intern(&g.isp)),
+            ),
+            None => (None, None),
+        };
+
+        let slot = self.resolve_swarm(view.video, view.manifest_hash, batch.as_deref_mut());
+
+        // Neighbor pick: memo window when possible, slab walk otherwise.
+        let mut picked = std::mem::take(&mut self.neighbor_scratch);
+        picked.clear();
+        let memo_ok = matches!(self.matching, MatchingPolicy::Global);
+        let memo_hit = memo_ok
+            && batch
+                .as_deref()
+                .and_then(|b| b.neighbor_memo.as_ref())
+                .is_some_and(|m| m.slot == slot);
+        if memo_hit {
+            let b = batch.as_deref_mut().expect("memo_hit implies batch");
+            b.hits += 1;
+            let m = b.neighbor_memo.as_ref().expect("memo_hit implies memo");
+            picked.extend(m.cands.iter().cloned());
+        } else {
+            for m in self.swarms[slot as usize].members.iter().rev().flatten() {
+                if picked.len() == self.max_neighbors {
+                    break;
+                }
+                if self.blacklist.contains(&m.peer_id) {
+                    continue;
+                }
+                let matches = match self.matching {
+                    MatchingPolicy::Global => true,
+                    MatchingPolicy::SameCountry => m.country.is_some() && m.country == country,
+                    MatchingPolicy::SameIsp => m.isp.is_some() && m.isp == isp,
+                };
+                if !matches {
+                    continue;
+                }
+                picked.push((m.peer_id, m.addr, m.sdp_wire.clone()));
+            }
+            if memo_ok {
+                if let Some(b) = batch.as_deref_mut() {
+                    b.neighbor_memo = Some(NeighborMemo {
+                        slot,
+                        cands: picked.iter().cloned().collect(),
+                    });
+                }
+            }
+        }
+
+        // Intern the joiner's SDP as a zero-copy slice of the frame (the
+        // fragment was validated by `decode_join_view`).
+        let sdp_wire = frame.slice(view.sdp_range.clone());
+        self.insert_member(
+            from,
+            peer_id,
+            sdp_wire.clone(),
+            country,
+            isp,
+            slot,
+            &customer_id,
+            now,
+        );
+        // Roll the joiner into the memo window: it is now the youngest
+        // candidate the next join in the burst must see.
+        if memo_ok {
+            if let Some(m) = batch.and_then(|b| b.neighbor_memo.as_mut()) {
+                if m.slot == slot {
+                    m.cands.push_front((peer_id, from, sdp_wire.clone()));
+                    m.cands.truncate(self.max_neighbors);
+                }
+            }
+        }
+
+        let mut buf = bytes::BytesMut::with_capacity(
+            16 + picked.iter().map(|(_, _, s)| 8 + s.len()).sum::<usize>(),
+        );
+        crate::wire::encode_join_ok_spliced(
+            peer_id,
+            picked.len(),
+            picked.iter().map(|(id, _, s)| (*id, &s[..])),
+            &mut buf,
+        );
+        out.push((from, buf.freeze()));
+        if !picked.is_empty() {
+            let mut buf = bytes::BytesMut::with_capacity(16 + sdp_wire.len());
+            crate::wire::encode_peer_joined_spliced(peer_id, &sdp_wire, &mut buf);
+            let notify = buf.freeze();
+            for (_, addr, _) in &picked {
+                out.push((*addr, notify.clone()));
+            }
+        }
+
+        picked.clear();
+        self.neighbor_scratch = picked;
+    }
+
+    /// Registers a freshly admitted peer: swarm membership, peer slab,
+    /// address index, and the customer's join meter. Shared by the compat
+    /// and frame join paths so their state transitions cannot drift.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_member(
+        &mut self,
+        from: Addr,
+        peer_id: u64,
+        sdp_wire: bytes::Bytes,
+        country: Option<u32>,
+        isp: Option<u32>,
+        slot: u32,
+        customer_id: &str,
+        now: SimTime,
+    ) {
+        let swarm = &mut self.swarms[slot as usize];
+        let swarm_pos = swarm.members.len() as u32;
+        swarm.members.push(Some(Member {
+            peer_id,
+            addr: from,
+            sdp_wire,
+            country,
+            isp,
+        }));
+        swarm.live += 1;
+        let customer = self.customers.intern(customer_id);
+        debug_assert_eq!(self.peers.len() as u64, peer_id - 1);
+        self.peers.push(Some(PeerSlot {
+            addr: from,
+            customer,
+            last_seen: now,
+            swarm: slot,
+            swarm_pos,
+        }));
+        self.live_peers += 1;
+        self.addr_index.insert(from, peer_id);
+        self.meter_mut(customer).add_join();
     }
 
     /// Resolves `(video, manifest)` to a swarm slot, creating the swarm on
@@ -727,8 +966,8 @@ impl SignalingServer {
     /// take the full path.
     fn authenticate_memo(
         &mut self,
-        api_key: &Option<String>,
-        token: &Option<String>,
+        api_key: Option<&str>,
+        token: Option<&str>,
         origin: &str,
         video: &str,
         now: SimTime,
@@ -739,7 +978,7 @@ impl SignalingServer {
             AuthScheme::StaticApiKey | AuthScheme::TenantKey
         );
         if memoizable {
-            if let (Some(b), Some(key)) = (&batch, api_key.as_deref()) {
+            if let (Some(b), Some(key)) = (&batch, api_key) {
                 if let Some((k, o, customer)) = &b.auth_memo {
                     if k == key && o == origin {
                         let customer = customer.clone();
@@ -753,7 +992,7 @@ impl SignalingServer {
         }
         let result = self.authenticate(api_key, token, origin, video, now);
         if memoizable {
-            if let (Some(b), Some(key), Ok(customer)) = (batch, api_key.as_deref(), &result) {
+            if let (Some(b), Some(key), Ok(customer)) = (batch, api_key, &result) {
                 b.auth_memo = Some((key.to_string(), origin.to_string(), customer.clone()));
             }
         }
@@ -762,20 +1001,20 @@ impl SignalingServer {
 
     fn authenticate(
         &mut self,
-        api_key: &Option<String>,
-        token: &Option<String>,
+        api_key: Option<&str>,
+        token: Option<&str>,
         origin: &str,
         video: &str,
         now: SimTime,
     ) -> Result<String, AuthError> {
         match &self.profile.auth {
             AuthScheme::StaticApiKey | AuthScheme::TenantKey => {
-                let key = api_key.as_deref().ok_or(AuthError::MissingCredentials)?;
+                let key = api_key.ok_or(AuthError::MissingCredentials)?;
                 let account = self.accounts.authenticate_key(key, origin)?;
                 Ok(account.customer_id.clone())
             }
             AuthScheme::TempToken { .. } => {
-                let t = token.as_deref().ok_or(AuthError::MissingCredentials)?;
+                let t = token.ok_or(AuthError::MissingCredentials)?;
                 match self.temp_tokens.get(t) {
                     None => Err(AuthError::InvalidToken("unknown temp token".into())),
                     Some(None) => Ok("platform".into()),
@@ -786,7 +1025,7 @@ impl SignalingServer {
                 }
             }
             AuthScheme::DisposableJwt => {
-                let t = token.as_deref().ok_or(AuthError::MissingCredentials)?;
+                let t = token.ok_or(AuthError::MissingCredentials)?;
                 let validator = self
                     .token_validator
                     .as_mut()
@@ -1583,6 +1822,105 @@ mod tests {
         assert!(batch.hits() > 0, "burst should hit the memos");
         assert_eq!(seq.peer_count(), bat.peer_count());
         assert_eq!(seq.meter("victim"), bat.meter("victim"));
+    }
+
+    /// The zero-copy borrowed join path (JoinView + spliced replies +
+    /// interned frame-slice SDPs) must be byte-identical to the owned
+    /// `SignalMsg` assembly it replaced — replies, order, and state.
+    #[test]
+    fn fast_path_matches_legacy_assembly() {
+        let frames: Vec<(Addr, bytes::Bytes)> = {
+            let mut f: Vec<(Addr, bytes::Bytes)> = Vec::new();
+            for d in 1..=20u8 {
+                f.push((
+                    addr(d),
+                    join("victim.tv", "v", "key-victim", d as u64).encode(),
+                ));
+            }
+            f.push((
+                addr(21),
+                join("victim.tv", "other", "key-victim", 21).encode(),
+            ));
+            f.push((addr(22), join("victim.tv", "v", "wrong-key", 22).encode()));
+            f.push((addr(4), SignalMsg::Leave.encode()));
+            f.push((addr(24), join("victim.tv", "v", "key-victim", 24).encode()));
+            f
+        };
+        let now = SimTime::from_secs(5);
+
+        // Per-frame: fast vs legacy.
+        let (mut fast, geo) = server();
+        let (mut legacy, _) = server();
+        legacy.set_join_fast_path(false);
+        let (mut fast_out, mut legacy_out) = (Vec::new(), Vec::new());
+        for (from, frame) in &frames {
+            fast.handle_frame_into(*from, frame, now, &geo, &mut fast_out);
+            legacy.handle_frame_into(*from, frame, now, &geo, &mut legacy_out);
+        }
+        assert_eq!(fast_out, legacy_out, "per-frame reply streams diverged");
+        assert_eq!(fast.peer_count(), legacy.peer_count());
+        assert_eq!(fast.meter("victim"), legacy.meter("victim"));
+
+        // Batched: fast (with neighbor memo) vs legacy.
+        let (mut fast_b, _) = server();
+        let (mut legacy_b, _) = server();
+        legacy_b.set_join_fast_path(false);
+        let (mut fb_out, mut lb_out) = (Vec::new(), Vec::new());
+        let mut batch = AdmissionBatch::new();
+        fast_b.handle_frames_batch_into(&frames, now, &geo, &mut batch, &mut fb_out);
+        let mut batch2 = AdmissionBatch::new();
+        legacy_b.handle_frames_batch_into(&frames, now, &geo, &mut batch2, &mut lb_out);
+        assert_eq!(fb_out, lb_out, "batched reply streams diverged");
+        assert_eq!(fb_out, fast_out, "batched vs per-frame diverged");
+        assert_eq!(fast_b.meter("victim"), legacy_b.meter("victim"));
+        assert!(
+            batch.hits() > batch2.hits(),
+            "neighbor memo should add hits"
+        );
+    }
+
+    /// The rolling neighbor window must survive a join burst (each joiner
+    /// becomes the next join's youngest candidate) and die on interleaved
+    /// leaves — a leave mid-burst mutates membership under the memo.
+    #[test]
+    fn neighbor_memo_rolls_and_invalidates_on_leave() {
+        let now = SimTime::from_secs(1);
+        let mut frames: Vec<(Addr, bytes::Bytes)> = (1..=6u8)
+            .map(|d| {
+                (
+                    addr(d),
+                    join("victim.tv", "v", "key-victim", d as u64).encode(),
+                )
+            })
+            .collect();
+        // Leave of the youngest member, then more joins: the post-leave
+        // joins must not be offered the departed peer.
+        frames.push((addr(6), SignalMsg::Leave.encode()));
+        frames.push((addr(7), join("victim.tv", "v", "key-victim", 7).encode()));
+
+        let (mut bat, geo) = server();
+        let mut batch = AdmissionBatch::new();
+        let mut bat_out = Vec::new();
+        bat.handle_frames_batch_into(&frames, now, &geo, &mut batch, &mut bat_out);
+
+        let (mut seq, _) = server();
+        let mut seq_out = Vec::new();
+        for (from, frame) in &frames {
+            seq.handle_frame_into(*from, frame, now, &geo, &mut seq_out);
+        }
+        assert_eq!(bat_out, seq_out, "memo changed selection semantics");
+        // The last join's JoinOk (first reply of the last join's group)
+        // must introduce peers 2..=5, not the departed peer 6.
+        let last_join_ok = bat_out
+            .iter()
+            .rev()
+            .find(|(a, _)| *a == addr(7))
+            .expect("join ok for last joiner");
+        let Some(SignalMsg::JoinOk { neighbors, .. }) = SignalMsg::decode(&last_join_ok.1) else {
+            panic!("expected JoinOk");
+        };
+        let ids: Vec<u64> = neighbors.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![5, 4, 3, 2], "youngest-first survivors");
     }
 
     /// Heavy join/leave churn through the tombstoned membership: the

@@ -297,6 +297,34 @@ fn get_sdp(data: &[u8], off: &mut usize) -> Option<SessionDescription> {
     })
 }
 
+/// Validates and skips one encoded SDP inside `data`, advancing `off` past
+/// it. Applies exactly the checks [`get_sdp`] applies, so a skipped range
+/// is guaranteed to decode later — this is what lets the tracker intern the
+/// raw fragment instead of materialising a [`SessionDescription`].
+fn skip_sdp(data: &[u8], off: &mut usize) -> Option<()> {
+    get_inline_str(data, off)?; // ice_ufrag
+    get_inline_str(data, off)?; // ice_pwd
+    get_array::<32>(data, off)?; // fingerprint
+    let n = usize::try_from(get_uvarint(data, off)?).ok()?;
+    for _ in 0..n {
+        if get_u8(data, off)? > 2 {
+            return None;
+        }
+        get_array::<4>(data, off)?; // ip
+        get_array::<2>(data, off)?; // port
+        u32::try_from(get_uvarint(data, off)?).ok()?; // priority
+    }
+    Some(())
+}
+
+fn get_opt_str_ref<'a>(data: &'a [u8], off: &mut usize) -> Option<Option<&'a str>> {
+    match get_u8(data, off)? {
+        0 => Some(None),
+        1 => Some(Some(get_inline_str(data, off)?)),
+        _ => None,
+    }
+}
+
 // ---------------------------------------------------------------------
 // Signaling codec
 // ---------------------------------------------------------------------
@@ -460,6 +488,111 @@ pub fn decode_signal(frame: &[u8]) -> Option<SignalMsg> {
         SIG_LEAVE => Some(SignalMsg::Leave),
         _ => None,
     }
+}
+
+// ---------------------------------------------------------------------
+// Borrowed join path (tracker hot path)
+// ---------------------------------------------------------------------
+
+/// Borrowed decode of a binary `Join` frame: credential and id fields stay
+/// `&str` views into the datagram, and the SDP comes back as the byte
+/// *range* of its encoded fragment so the tracker can intern
+/// `frame.slice(range)` zero-copy instead of parsing candidates into an
+/// owned [`SessionDescription`].
+#[derive(Debug, Clone)]
+pub struct JoinView<'a> {
+    /// Static API key, if present.
+    pub api_key: Option<&'a str>,
+    /// Tenant/JWT token, if present.
+    pub token: Option<&'a str>,
+    /// Claimed page origin.
+    pub origin: &'a str,
+    /// Video id.
+    pub video: &'a str,
+    /// Manifest hash.
+    pub manifest_hash: &'a str,
+    /// Byte range of the encoded SDP within the whole frame. The range is
+    /// validated ([`skip_sdp`] applies the same checks as `get_sdp`), so
+    /// [`decode_sdp`] on the slice cannot fail.
+    pub sdp_range: std::ops::Range<usize>,
+}
+
+/// Decodes a binary `Join` frame into a borrowed [`JoinView`]. Returns
+/// `None` for any other tag, JSON-baseline frames, or malformed input —
+/// callers fall back to [`decode_signal`].
+pub fn decode_join_view(frame: &[u8]) -> Option<JoinView<'_>> {
+    let body = frame.strip_prefix(TLS_MARKER.as_slice())?;
+    let mut off = 0usize;
+    if get_u8(body, &mut off)? != SIGNAL_BIN_VERSION || get_u8(body, &mut off)? != SIG_JOIN {
+        return None;
+    }
+    let api_key = get_opt_str_ref(body, &mut off)?;
+    let token = get_opt_str_ref(body, &mut off)?;
+    let origin = get_inline_str(body, &mut off)?;
+    let video = get_inline_str(body, &mut off)?;
+    let manifest_hash = get_inline_str(body, &mut off)?;
+    let sdp_start = off;
+    skip_sdp(body, &mut off)?;
+    let base = TLS_MARKER.len();
+    Some(JoinView {
+        api_key,
+        token,
+        origin,
+        video,
+        manifest_hash,
+        sdp_range: base + sdp_start..base + off,
+    })
+}
+
+/// Encodes an SDP into a standalone fragment — the same bytes [`put_sdp`]
+/// embeds in `Join`/`JoinOk`/`PeerJoined` frames. The compat path interns
+/// this when a join arrives as an owned [`SignalMsg`] rather than a frame.
+pub fn encode_sdp(sdp: &SessionDescription) -> Bytes {
+    let mut out = BytesMut::with_capacity(48 + 16 * sdp.candidates.len());
+    put_sdp(&mut out, sdp);
+    out.freeze()
+}
+
+/// Decodes an interned SDP fragment produced by [`encode_sdp`] or sliced
+/// out of a join frame via [`JoinView::sdp_range`].
+pub fn decode_sdp(fragment: &[u8]) -> Option<SessionDescription> {
+    let mut off = 0usize;
+    let sdp = get_sdp(fragment, &mut off)?;
+    (off == fragment.len()).then_some(sdp)
+}
+
+/// Encodes a `JoinOk` by splicing pre-encoded SDP fragments straight into
+/// the frame — byte-identical to [`encode_signal`] on the equivalent
+/// [`SignalMsg::JoinOk`], without materialising a single
+/// [`SessionDescription`]. `count` must equal the iterator's length.
+pub fn encode_join_ok_spliced<'a>(
+    peer_id: u64,
+    count: usize,
+    neighbors: impl Iterator<Item = (u64, &'a [u8])>,
+    out: &mut BytesMut,
+) {
+    out.put_slice(TLS_MARKER);
+    out.put_u8(SIGNAL_BIN_VERSION);
+    out.put_u8(SIG_JOIN_OK);
+    put_uvarint(out, peer_id);
+    put_uvarint(out, count as u64);
+    let mut seen = 0usize;
+    for (id, sdp) in neighbors {
+        put_uvarint(out, id);
+        out.put_slice(sdp);
+        seen += 1;
+    }
+    debug_assert_eq!(seen, count, "neighbor count mismatch in spliced JoinOk");
+}
+
+/// Encodes a `PeerJoined` notification from an interned SDP fragment —
+/// byte-identical to [`encode_signal`] on the equivalent message.
+pub fn encode_peer_joined_spliced(peer_id: u64, sdp: &[u8], out: &mut BytesMut) {
+    out.put_slice(TLS_MARKER);
+    out.put_u8(SIGNAL_BIN_VERSION);
+    out.put_u8(SIG_PEER_JOINED);
+    put_uvarint(out, peer_id);
+    out.put_slice(sdp);
 }
 
 // ---------------------------------------------------------------------
@@ -1112,6 +1245,60 @@ mod tests {
     }
 
     #[test]
+    fn join_view_borrows_fields_and_sdp_range_decodes() {
+        let msg = SignalMsg::Join {
+            api_key: Some("key".into()),
+            token: None,
+            origin: "site.tv".into(),
+            video: "v.m3u8".into(),
+            manifest_hash: "abcd".into(),
+            sdp: sdp(3),
+        };
+        let frame = encode_signal(&msg);
+        let view = decode_join_view(&frame).expect("join decodes");
+        assert_eq!(view.api_key, Some("key"));
+        assert_eq!(view.token, None);
+        assert_eq!(view.origin, "site.tv");
+        assert_eq!(view.video, "v.m3u8");
+        assert_eq!(view.manifest_hash, "abcd");
+        // The range covers exactly the trailing SDP fragment and decodes
+        // back to the original SDP.
+        assert_eq!(view.sdp_range.end, frame.len());
+        assert_eq!(decode_sdp(&frame[view.sdp_range.clone()]), Some(sdp(3)));
+        // And it equals the standalone encoding — interning the slice is
+        // indistinguishable from re-encoding.
+        assert_eq!(&frame[view.sdp_range], &encode_sdp(&sdp(3))[..]);
+        // Non-join frames fall through.
+        assert!(decode_join_view(&encode_signal(&SignalMsg::Leave)).is_none());
+    }
+
+    #[test]
+    fn spliced_replies_match_encode_signal_bytes() {
+        let n1 = encode_sdp(&sdp(2));
+        let n2 = encode_sdp(&sdp(0));
+        let mut out = BytesMut::new();
+        encode_join_ok_spliced(
+            1 << 40,
+            2,
+            [(1u64, &n1[..]), (99u64, &n2[..])].into_iter(),
+            &mut out,
+        );
+        let reference = encode_signal(&SignalMsg::JoinOk {
+            peer_id: 1 << 40,
+            neighbors: vec![(1, sdp(2)), (99, sdp(0))],
+        });
+        assert_eq!(&out[..], &reference[..], "spliced JoinOk diverges");
+
+        let mut out = BytesMut::new();
+        encode_peer_joined_spliced(7, &encode_sdp(&sdp(1)), &mut out);
+        let reference = encode_signal(&SignalMsg::PeerJoined {
+            peer_id: 7,
+            sdp: sdp(1),
+        });
+        assert_eq!(&out[..], &reference[..], "spliced PeerJoined diverges");
+    }
+
+    #[test]
     fn interned_video_encodes_as_one_slot_byte() {
         let mut table = InternTable::new();
         assert_eq!(table.intern("v.m3u8"), 0);
@@ -1263,6 +1450,7 @@ mod tests {
                 let frame = encode_signal(&msg);
                 let cut = 1 + (cut_seed as usize % (frame.len() - 1));
                 prop_assert_eq!(decode_signal(&frame[..cut]), None, "signal cut at {}", cut);
+                prop_assert!(decode_join_view(&frame[..cut]).is_none(), "join view cut at {}", cut);
             }
             let mut table = InternTable::new();
             table.intern("v.m3u8");
@@ -1299,6 +1487,11 @@ mod tests {
                 let i = flip_byte % bent.len();
                 bent[i] ^= 1 << flip_bit;
                 let _ = decode_signal(&bent);
+                if let Some(view) = decode_join_view(&bent) {
+                    // A surviving view's SDP range must still decode — the
+                    // interning contract the tracker relies on.
+                    prop_assert!(decode_sdp(&bent[view.sdp_range]).is_some());
+                }
             }
         }
     }

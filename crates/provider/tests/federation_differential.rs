@@ -1,0 +1,149 @@
+//! Differential and property coverage for the federated tracker plane.
+//!
+//! Two contracts from the ISSUE: (1) a 1-region federation is
+//! *byte-identical* to the single-tracker PR-9 harness on the same seed
+//! and rate plan — the federation layer adds literally nothing to the
+//! serial path; (2) failover handoff conserves sessions — every session
+//! extracted from a dead tracker is admitted, explicitly denied, or
+//! turned away at the pool cap (never silently lost, never duplicated),
+//! and peer ids are never recycled across the migration.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use pdn_provider::service::{run_federation, run_service, FederationConfig, ServiceConfig};
+use pdn_simnet::shard::ShardMode;
+use pdn_simnet::{RatePlan, SimTime};
+use proptest::prelude::*;
+
+fn base_cfg(seed: u64, plan: RatePlan) -> ServiceConfig {
+    let mut cfg = ServiceConfig::new(plan);
+    cfg.seed = seed;
+    cfg.run_for = Duration::from_secs(4);
+    cfg.mean_session = Duration::from_secs(2);
+    cfg
+}
+
+/// K=1 federation ≡ `run_service`, across every rate-plan shape the bench
+/// sweeps, pinned on the full debug-formatted report (every counter and
+/// histogram bucket).
+#[test]
+fn one_region_federation_is_byte_identical_to_run_service() {
+    let plans = [
+        RatePlan::Steady { per_sec: 400.0 },
+        RatePlan::FlashCrowd {
+            base_per_sec: 200.0,
+            mult: 5.0,
+            at: SimTime::from_secs(2),
+            dur: Duration::from_secs(1),
+        },
+        RatePlan::Failover {
+            base_per_sec: 200.0,
+            mult: 2.0,
+            at: SimTime::from_secs(2),
+        },
+    ];
+    for (i, plan) in plans.into_iter().enumerate() {
+        for seed in [1u64, 77] {
+            let cfg = base_cfg(seed, plan.clone());
+            let single = run_service(&cfg);
+            let mut fed = FederationConfig::new(1, plan.clone());
+            fed.base = cfg.clone();
+            fed.mode = ShardMode::Inline;
+            let federated = run_federation(&fed);
+            assert_eq!(
+                format!("{:?}", federated.per_region[0]),
+                format!("{single:?}"),
+                "plan #{i} seed {seed}: K=1 diverged from the serial harness"
+            );
+            assert_eq!(federated.exchanged, 0, "K=1 has no cross-region traffic");
+        }
+    }
+}
+
+/// The same federated config must produce the same report run-to-run and
+/// across inline/threaded shard scheduling (the check.sh identity gate in
+/// library form), including under failover traffic.
+#[test]
+fn federation_reports_are_reproducible_across_modes_and_runs() {
+    let mut fed = FederationConfig::new(4, RatePlan::Steady { per_sec: 250.0 });
+    fed.base = base_cfg(9, RatePlan::Steady { per_sec: 250.0 });
+    fed.fail_region = Some((1, Duration::from_secs(2)));
+    fed.mode = ShardMode::Inline;
+    let a = run_federation(&fed);
+    let b = run_federation(&fed);
+    fed.mode = ShardMode::Threaded;
+    let c = run_federation(&fed);
+    let key = |r: &pdn_provider::service::FederationReport| {
+        format!("{:?}|{:?}|{:?}", r.per_region, r.handoffs, r.aggregate)
+    };
+    assert_eq!(key(&a), key(&b), "double run diverged");
+    assert_eq!(key(&a), key(&c), "inline vs threaded diverged");
+    assert_eq!(c.mode, "threaded");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Failover handoff conservation, over random seeds, loads, region
+    /// counts, and failover instants:
+    ///
+    /// - every migrated session is admitted, denied, or turned away;
+    /// - no session is duplicated (old ids unique, new ids unique);
+    /// - peer ids are never recycled (new global ids are disjoint from
+    ///   every id the dead tracker handed out).
+    #[test]
+    fn handoff_conserves_sessions_and_never_recycles_ids(
+        seed in 1u64..1_000,
+        per_sec in 150u64..450,
+        regions in 2usize..=4,
+        fail_region in 0usize..4,
+        fail_ms in 1_500u64..2_800,
+    ) {
+        let fail_region = fail_region % regions;
+        let plan = RatePlan::Steady { per_sec: per_sec as f64 };
+        let mut fed = FederationConfig::new(regions, plan.clone());
+        fed.base = base_cfg(seed, plan);
+        fed.fail_region = Some((fail_region, Duration::from_millis(fail_ms)));
+        fed.mode = ShardMode::Inline;
+        let rep = run_federation(&fed);
+
+        prop_assert!(rep.migrated_out > 0, "failover at {fail_ms}ms migrated nothing");
+        prop_assert_eq!(
+            rep.migrated_out,
+            rep.migrated_in + rep.handoffs_denied + rep.handoffs_turned_away,
+            "sessions lost or invented across the migration"
+        );
+        prop_assert_eq!(rep.handoffs_stranded, 0, "K>=2 always has a live sibling");
+        prop_assert_eq!(rep.migrated_in, rep.handoffs.len() as u64);
+        prop_assert_eq!(rep.handoff_latency.count(), rep.migrated_in);
+
+        // No duplication: a live session migrates exactly once.
+        let old: Vec<u64> = rep
+            .handoffs
+            .iter()
+            .map(|h| h.old_global)
+            .filter(|&id| id != 0)
+            .collect();
+        let old_set: HashSet<u64> = old.iter().copied().collect();
+        prop_assert_eq!(old.len(), old_set.len(), "a session completed two handoffs");
+
+        // No recycling: target-assigned ids are fresh, globally.
+        let new_set: HashSet<u64> = rep.handoffs.iter().map(|h| h.new_global).collect();
+        prop_assert_eq!(
+            new_set.len(),
+            rep.handoffs.len(),
+            "a target tracker recycled a peer id"
+        );
+        prop_assert!(
+            new_set.is_disjoint(&old_set),
+            "a migrated session was re-issued an old id"
+        );
+        for h in &rep.handoffs {
+            let target = (h.new_global >> 56) as usize;
+            prop_assert!(target < regions && target != fail_region,
+                "handoff admitted by region {target}, which is dead or out of range");
+            prop_assert!(h.completed_at >= h.migrated_at);
+        }
+    }
+}

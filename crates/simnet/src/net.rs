@@ -178,14 +178,14 @@ impl TapVerdict {
 }
 
 /// A middlebox function observing one node's traffic.
-pub type TapFn = Box<dyn FnMut(TapDirection, &Datagram) -> TapVerdict>;
+pub type TapFn = Box<dyn FnMut(TapDirection, &Datagram) -> TapVerdict + Send>;
 
 /// A capture-time filter: return `true` to record the frame.
 ///
 /// Runs *before* the frame is cloned into the capture ring, so attack
 /// tests that only care about (say) UDP media frames stop paying clone
 /// and memory costs for the traffic they would post-filter away.
-pub type CaptureFilter = Box<dyn FnMut(SimTime, &Datagram) -> bool>;
+pub type CaptureFilter = Box<dyn FnMut(SimTime, &Datagram) -> bool + Send>;
 
 /// Handle returned by [`Network::set_timer`], usable with
 /// [`Network::cancel_timer`]. Stale after the timer fires.

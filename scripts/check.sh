@@ -48,7 +48,7 @@ run_gate "sim workload gate (serial workload within 10% of committed BENCH_sim.j
 run_gate "swarm scale gate (10k-peer tables identical at shards 1/2/4/8, peers/GB floor, ev/s within 10% of committed BENCH_swarm.json)" \
   cargo run --release --offline -p pdn-bench --bin swarm_scale_bench -- --quick
 
-run_gate "service SLO gate (p999 JTFS under budget, knee within 10% of committed BENCH_service.json, goodput plateau at 2x)" \
+run_gate "service SLO gate (p999 JTFS under budget, knee within 10% of committed BENCH_service.json, goodput plateau at 2x, federation K=4 knee >= 3x K=1 with shard-mode identity, per-join CPU speedup)" \
   cargo run --release --offline -p pdn-bench --bin service_bench -- --quick
 
 run_gate "cargo bench --no-run (benches stay compiling)" \
@@ -59,15 +59,17 @@ echo "==> hot-path hash lint (no std::collections::HashMap on swarm-state hot pa
 # and simnet router onto FxHash/slab/bitmap structures, the batched
 # record engine (PR 6) extends the same stance to the DTLS record layer
 # and data channel, and the service plane (PR 9) to the bounded inboxes
-# and open-loop harness. SipHash maps must not creep back into those
-# files; the preserved baseline (state_baseline.rs) and test code are
-# exempt by not being listed here.
+# and open-loop harness; the federated tracker plane (PR 10) keeps the
+# same stance in the region-shard router. SipHash maps must not creep
+# back into those files; the preserved baseline (state_baseline.rs) and
+# test code are exempt by not being listed here.
 hot_paths=(
   crates/provider/src/sdk.rs
   crates/provider/src/signaling.rs
   crates/provider/src/swarm.rs
   crates/provider/src/service/inbox.rs
   crates/provider/src/service/harness.rs
+  crates/provider/src/service/federation.rs
   crates/simnet/src/net.rs
   crates/simnet/src/shard.rs
   crates/webrtc/src/dtls.rs
